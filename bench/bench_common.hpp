@@ -1,0 +1,35 @@
+// Shared helpers for the experiment harnesses (E1-E9). Every binary prints
+// a header naming the paper claim it regenerates and a table of
+// paper-expected vs. measured values; EXPERIMENTS.md records the outputs.
+#pragma once
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+namespace chordal::bench {
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("==============================================================\n\n");
+}
+
+/// Standard chordal workload used across experiments: prescribed clique
+/// tree with the given shape scaled to ~n vertices (bags average ~4 fresh
+/// vertices each).
+inline GeneratedChordal chordal_workload(int approx_n, TreeShape shape,
+                                         std::uint64_t seed) {
+  CliqueTreeConfig config;
+  config.num_bags = std::max(2, approx_n / 4);
+  config.min_bag_size = 2;
+  config.max_bag_size = 6;
+  config.max_shared = 3;
+  config.shape = shape;
+  config.seed = seed;
+  return random_chordal_from_clique_tree(config);
+}
+
+}  // namespace chordal::bench

@@ -1,0 +1,39 @@
+// Experiment E7 - ColIntGraph (Halldorsson-Konrad [21] stand-in): interval
+// graphs are colored with at most floor((1+1/k) chi) + 1 colors in
+// O(k log* n) rounds. Rounds should be flat in n and linear in k.
+#include "bench_common.hpp"
+#include "interval/col_int_graph.hpp"
+#include "interval/rep.hpp"
+
+int main() {
+  using namespace chordal;
+  bench::header("E7: distributed interval coloring (ColIntGraph)",
+                "[21] via Lemma 9 - colors <= floor((1+1/k) chi) + 1 in "
+                "O(k log* n) rounds");
+
+  Table table({"workload", "n", "k", "chi", "colors", "bound", "rounds",
+               "violations"});
+  auto run = [&table](const char* name, const GeneratedInterval& gen,
+                      int k) {
+    auto rep = interval::from_geometry(gen.left, gen.right);
+    auto result = interval::col_int_graph(rep, k);
+    table.add_row({name, Table::fmt(gen.graph.num_vertices()),
+                   Table::fmt(k), Table::fmt(result.omega),
+                   Table::fmt(result.num_colors),
+                   Table::fmt(result.color_bound), Table::fmt(result.rounds),
+                   Table::fmt(result.palette_violations)});
+  };
+  for (int n : {1000, 8000, 64000}) {
+    for (int k : {2, 4, 8, 16}) {
+      run("staircase", staircase_interval(n, 0.62, 0.05, 31), k);
+    }
+  }
+  for (int n : {2000, 16000}) {
+    run("dense random",
+        random_interval({.n = n, .window = n / 20.0, .min_len = 0.5,
+                         .max_len = 4.0, .seed = 17}),
+        4);
+  }
+  table.print();
+  return 0;
+}

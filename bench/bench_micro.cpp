@@ -1,0 +1,95 @@
+// Experiment E10 - substrate micro-benchmarks (google-benchmark): the
+// building blocks every algorithm leans on. Wall-clock results document
+// that the simulation substrate scales near-linearly.
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.hpp"
+#include "cliqueforest/forest.hpp"
+#include "cliqueforest/local_view.hpp"
+#include "core/mvc.hpp"
+#include "graph/cliques.hpp"
+#include "graph/generators.hpp"
+#include "graph/peo.hpp"
+#include "local/ball.hpp"
+
+namespace {
+
+using namespace chordal;
+
+GeneratedChordal workload(int bags) {
+  CliqueTreeConfig config;
+  config.num_bags = bags;
+  config.shape = TreeShape::kRandom;
+  config.seed = 12345;
+  return random_chordal_from_clique_tree(config);
+}
+
+void BM_LexBfsPeo(benchmark::State& state) {
+  auto gen = workload(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peo_or_throw(gen.graph));
+  }
+  state.SetComplexityN(gen.graph.num_vertices());
+}
+BENCHMARK(BM_LexBfsPeo)->Range(256, 16384)->Complexity();
+
+void BM_MaximalCliques(benchmark::State& state) {
+  auto gen = workload(static_cast<int>(state.range(0)));
+  auto peo = peo_or_throw(gen.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maximal_cliques_chordal(gen.graph, peo));
+  }
+  state.SetComplexityN(gen.graph.num_vertices());
+}
+BENCHMARK(BM_MaximalCliques)->Range(256, 16384)->Complexity();
+
+void BM_CliqueForestBuild(benchmark::State& state) {
+  auto gen = workload(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CliqueForest::build(gen.graph));
+  }
+  state.SetComplexityN(gen.graph.num_vertices());
+}
+BENCHMARK(BM_CliqueForestBuild)->Range(256, 16384)->Complexity();
+
+void BM_BallCollection(benchmark::State& state) {
+  auto gen = workload(2048);
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        local::collect_ball(gen.graph, v, static_cast<int>(state.range(0))));
+    v = (v + 37) % gen.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_BallCollection)->DenseRange(2, 14, 4);
+
+void BM_LocalView(benchmark::State& state) {
+  auto gen = workload(1024);
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_local_view(gen.graph, v, 6));
+    v = (v + 41) % gen.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_LocalView);
+
+void BM_MvcEndToEnd(benchmark::State& state) {
+  auto gen = workload(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mvc_chordal(gen.graph, {.eps = 0.5}));
+  }
+  state.SetComplexityN(gen.graph.num_vertices());
+}
+BENCHMARK(BM_MvcEndToEnd)->Range(256, 8192)->Complexity();
+
+void BM_OptimalColoringBaseline(benchmark::State& state) {
+  auto gen = workload(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::optimal_coloring_chordal(gen.graph));
+  }
+}
+BENCHMARK(BM_OptimalColoringBaseline)->Range(256, 8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Experiment E5 - Theorems 7/8: Algorithm 6 computes a (1+eps)-approximate
+// MIS on chordal graphs in O((1/eps) log(1/eps) log* n) rounds, processing
+// only the first O(log(1/eps)) peel layers. Includes the d-override
+// ablation: the paper's worst-case constant d = 64/eps is far larger than
+// random workloads need.
+#include "baselines/baselines.hpp"
+#include "bench_common.hpp"
+#include "core/mis.hpp"
+
+int main() {
+  using namespace chordal;
+  bench::header("E5: chordal MIS approximation and rounds",
+                "Theorems 7/8 - ratio <= 1+eps, O((1/eps) log(1/eps) "
+                "log* n) rounds, O(log(1/eps)) peel iterations");
+
+  Table table({"shape", "n", "eps", "d", "iters", "ours", "alpha", "ratio",
+               "rounds"});
+  for (TreeShape shape : {TreeShape::kRandom, TreeShape::kCaterpillar}) {
+    const char* shape_name =
+        shape == TreeShape::kRandom ? "random" : "caterpillar";
+    for (int n : {1024, 8192}) {
+      for (double eps : {0.4, 0.2, 0.1}) {
+        auto gen = bench::chordal_workload(n, shape, 3 + n);
+        auto ours = core::mis_chordal(gen.graph, {.eps = eps});
+        int opt = baselines::independence_number_chordal(gen.graph);
+        table.add_row({shape_name, Table::fmt(gen.graph.num_vertices()),
+                       Table::fmt(eps, 2), Table::fmt(ours.d),
+                       Table::fmt(ours.iterations),
+                       Table::fmt((long long)ours.chosen.size()),
+                       Table::fmt(opt),
+                       Table::fmt(static_cast<double>(opt) /
+                                      static_cast<double>(ours.chosen.size()),
+                                  4),
+                       Table::fmt(ours.rounds)});
+      }
+    }
+  }
+  table.print();
+
+  std::printf("\nAblation: overriding the worst-case constant d = 64/eps "
+              "(quality on random workloads barely moves, rounds shrink):\n\n");
+  Table ablation({"d", "iters", "ours", "alpha", "ratio", "rounds"});
+  auto gen = bench::chordal_workload(8192, TreeShape::kRandom, 5);
+  int opt = baselines::independence_number_chordal(gen.graph);
+  for (int d : {0, 64, 16, 8, 4}) {  // 0 = paper default
+    auto ours = core::mis_chordal(gen.graph, {.eps = 0.2, .d_override = d});
+    ablation.add_row({d == 0 ? "64/eps (paper)" : Table::fmt(d),
+                      Table::fmt(ours.iterations),
+                      Table::fmt((long long)ours.chosen.size()),
+                      Table::fmt(opt),
+                      Table::fmt(static_cast<double>(opt) /
+                                     static_cast<double>(ours.chosen.size()),
+                                 4),
+                      Table::fmt(ours.rounds)});
+  }
+  ablation.print();
+  return 0;
+}

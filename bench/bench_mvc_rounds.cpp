@@ -1,0 +1,46 @@
+// Experiment E2 - Theorem 4 (round complexity): the distributed MVC
+// algorithm runs in O((1/eps) log n) rounds. We sweep n at fixed eps (rounds
+// should grow ~ log n) and 1/eps at fixed n (rounds should grow linearly),
+// reporting the normalized ratio rounds / (k * log2 n), which should remain
+// roughly constant.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/mvc.hpp"
+
+int main() {
+  using namespace chordal;
+  bench::header("E2: MVC round complexity",
+                "Theorem 4 - O((1/eps) log n) rounds; Lemma 6 - at most "
+                "ceil(log2 n) peel layers");
+
+  Table by_n({"n", "eps", "k", "layers", "ceil(log2 n)", "rounds",
+              "rounds/(k*log2 n)"});
+  for (int n : {256, 1024, 4096, 16384, 65536}) {
+    auto gen = bench::chordal_workload(n, TreeShape::kBinary, 7);
+    auto result = core::mvc_chordal(gen.graph, {.eps = 0.5});
+    double log_n = std::log2(static_cast<double>(gen.graph.num_vertices()));
+    by_n.add_row({Table::fmt(gen.graph.num_vertices()), Table::fmt(0.5, 2),
+                  Table::fmt(result.k), Table::fmt(result.num_layers),
+                  Table::fmt(static_cast<int>(std::ceil(log_n))),
+                  Table::fmt(result.rounds),
+                  Table::fmt(static_cast<double>(result.rounds) /
+                                 (result.k * log_n),
+                             2)});
+  }
+  by_n.print();
+
+  std::printf("\nFixed n, growing 1/eps (rounds should scale ~ 1/eps):\n\n");
+  Table by_eps({"n", "eps", "k", "rounds", "rounds/k"});
+  for (double eps : {2.0, 1.0, 0.5, 0.25, 0.125, 0.0625}) {
+    auto gen = bench::chordal_workload(4096, TreeShape::kBinary, 7);
+    auto result = core::mvc_chordal(gen.graph, {.eps = eps});
+    by_eps.add_row({Table::fmt(gen.graph.num_vertices()),
+                    Table::fmt(eps, 4), Table::fmt(result.k),
+                    Table::fmt(result.rounds),
+                    Table::fmt(static_cast<double>(result.rounds) / result.k,
+                               1)});
+  }
+  by_eps.print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Experiment E3 - Lemma 6 (Pruning Lemma): the peeling process finishes in
+// at most ceil(log2 n) iterations because the number of forest vertices of
+// degree >= 3 at least halves per iteration.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/peeling.hpp"
+
+int main() {
+  using namespace chordal;
+  bench::header("E3: peeling layer counts and the halving invariant",
+                "Lemma 6 / Corollary 1 - <= ceil(log2 n) layers; "
+                "degree->=3 counts halve each iteration");
+
+  Table table({"shape", "n", "cliques", "layers", "ceil(log2 n)",
+               "halving held", "deg>=3 trace"});
+  for (TreeShape shape : {TreeShape::kPath, TreeShape::kCaterpillar,
+                          TreeShape::kRandom, TreeShape::kBinary,
+                          TreeShape::kSpider}) {
+    const char* names[] = {"path", "caterpillar", "random", "binary",
+                           "spider"};
+    for (int n : {1024, 8192, 65536}) {
+      auto gen = bench::chordal_workload(n, shape, 13);
+      CliqueForest forest = CliqueForest::build(gen.graph);
+      core::PeelConfig config;
+      config.mode = core::PeelMode::kColoring;
+      config.k = 4;
+      auto result = core::peel(gen.graph, forest, config);
+      bool halves = true;
+      std::string trace;
+      for (std::size_t i = 0; i < result.high_degree_counts.size(); ++i) {
+        if (i > 0) {
+          halves = halves && result.high_degree_counts[i] <=
+                                 result.high_degree_counts[i - 1] / 2;
+          trace += ",";
+        }
+        trace += Table::fmt(result.high_degree_counts[i]);
+      }
+      table.add_row(
+          {names[static_cast<int>(shape)],
+           Table::fmt(gen.graph.num_vertices()),
+           Table::fmt(forest.num_cliques()), Table::fmt(result.num_layers),
+           Table::fmt(static_cast<int>(
+               std::ceil(std::log2(gen.graph.num_vertices())))),
+           halves ? "yes" : "NO", trace});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Scenario: frequency assignment in a hierarchical backbone network.
+//
+// A regional backbone is built by recursive attachment: each new relay
+// station joins an existing trunk group (a clique of mutually interfering
+// stations). The interference graph is chordal by construction. Stations
+// must pick frequencies so that no two interfering stations share one -
+// vertex coloring - and each extra frequency costs licensed spectrum, so we
+// want close to chi(G) frequencies, computed distributively by the
+// stations themselves (Theorem 4).
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "core/mvc.hpp"
+#include "graph/generators.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace chordal;
+  Table table({"stations", "interference edges", "chi", "ours(eps=.5)",
+               "(Delta+1) greedy", "LOCAL rounds"});
+  for (int n : {500, 2000, 8000}) {
+    RandomChordalConfig config;
+    config.n = n;
+    config.max_clique = 6;   // trunk groups of up to 6 stations
+    config.chain_bias = 0.8; // mostly chains of relay stations
+    config.seed = 20240706;
+    Graph g = random_chordal(config);
+
+    auto ours = core::mvc_chordal(g, {.eps = 0.5});
+    auto greedy = baselines::dplus1_coloring(g, 1);
+    int chi = baselines::chromatic_number_chordal(g);
+
+    table.add_row({Table::fmt(n), Table::fmt((long long)g.num_edges()),
+                   Table::fmt(chi), Table::fmt(ours.num_colors),
+                   Table::fmt(greedy.num_colors), Table::fmt(ours.rounds)});
+  }
+  std::printf("Frequency assignment on chordal interference graphs\n");
+  std::printf("(the (Delta+1) baseline wastes spectrum; ours stays within "
+              "(1+eps) of chi)\n\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,254 @@
+// Scenario: exact marginal inference on a chordal Markov random field.
+//
+// The paper motivates chordal graphs via belief propagation: a chordal
+// graph's clique forest is exactly the junction tree that makes sum-product
+// inference exact. This example builds a pairwise binary MRF whose
+// dependency graph is chordal, extracts the junction tree with the
+// library's deterministic clique forest, runs two-pass message passing over
+// it, and cross-checks a few marginals against brute-force enumeration.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cliqueforest/forest.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace chordal;
+
+struct Mrf {
+  Graph graph;
+  // Pairwise log-potentials theta[{u,v}] (coupling) and unary field[u].
+  std::map<std::pair<int, int>, double> coupling;
+  std::vector<double> field;
+
+  double edge_weight(int u, int v) const {
+    auto it = coupling.find(std::minmax(u, v));
+    return it == coupling.end() ? 0.0 : it->second;
+  }
+
+  /// Unnormalized log-score of a full assignment (x[v] in {0,1}).
+  double score(const std::vector<int>& x) const {
+    double s = 0;
+    for (std::size_t v = 0; v < x.size(); ++v) s += field[v] * x[v];
+    for (const auto& [edge, w] : coupling) s += w * x[edge.first] * x[edge.second];
+    return s;
+  }
+};
+
+Mrf make_mrf(int n_bags, std::uint64_t seed) {
+  CliqueTreeConfig config;
+  config.num_bags = n_bags;
+  config.min_bag_size = 2;
+  config.max_bag_size = 3;
+  config.shape = TreeShape::kRandom;
+  config.seed = seed;
+  auto gen = random_chordal_from_clique_tree(config);
+  Mrf mrf;
+  mrf.graph = gen.graph;
+  Rng rng(seed * 7 + 1);
+  mrf.field.resize(static_cast<std::size_t>(mrf.graph.num_vertices()));
+  for (auto& f : mrf.field) f = rng.uniform01() - 0.5;
+  for (auto [u, v] : mrf.graph.edges()) {
+    mrf.coupling[{u, v}] = (rng.uniform01() - 0.5) * 1.5;
+  }
+  return mrf;
+}
+
+/// Sum-product over the junction tree: returns per-vertex P(x_v = 1).
+std::vector<double> junction_tree_marginals(const Mrf& mrf) {
+  CliqueForest forest = CliqueForest::build(mrf.graph);
+  const int m = forest.num_cliques();
+
+  // Clique potential tables (over the clique's own variables). Each edge
+  // and unary potential is assigned to exactly one containing clique.
+  std::vector<std::vector<double>> table(static_cast<std::size_t>(m));
+  std::vector<char> unary_done(mrf.graph.num_vertices(), 0);
+  std::map<std::pair<int, int>, char> pair_done;
+  for (int c = 0; c < m; ++c) {
+    const auto& clique = forest.clique(c);
+    std::size_t states = 1u << clique.size();
+    table[c].assign(states, 0.0);
+    for (std::size_t mask = 0; mask < states; ++mask) {
+      double s = 0;
+      for (std::size_t i = 0; i < clique.size(); ++i) {
+        int u = clique[i];
+        int xu = (mask >> i) & 1u;
+        if (!unary_done[u]) s += mrf.field[u] * xu;
+        for (std::size_t j = i + 1; j < clique.size(); ++j) {
+          int v = clique[j];
+          auto key = std::minmax(u, v);
+          if (!pair_done.count(key)) {
+            s += mrf.edge_weight(u, v) * xu * ((mask >> j) & 1u);
+          }
+        }
+      }
+      table[c][mask] = s;
+    }
+    for (int u : clique) unary_done[u] = 1;
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      for (std::size_t j = i + 1; j < clique.size(); ++j) {
+        pair_done[std::minmax(clique[i], clique[j])] = 1;
+      }
+    }
+  }
+  // Convert log-potentials to linear domain.
+  for (auto& t : table) {
+    for (auto& x : t) x = std::exp(x);
+  }
+
+  // Two-pass message passing over each tree of the forest (post-order up,
+  // pre-order down), with messages over separators.
+  std::vector<std::map<int, std::vector<double>>> msg(
+      static_cast<std::size_t>(m));  // msg[from][to]
+  auto separator = [&](int a, int b) {
+    std::vector<int> sep;
+    const auto& ca = forest.clique(a);
+    for (int u : forest.clique(b)) {
+      if (std::binary_search(ca.begin(), ca.end(), u)) sep.push_back(u);
+    }
+    return sep;
+  };
+  auto send = [&](int from, int to) {
+    auto sep = separator(from, to);
+    const auto& clique = forest.clique(from);
+    std::vector<double> out(1u << sep.size(), 0.0);
+    for (std::size_t mask = 0; mask < table[from].size(); ++mask) {
+      double value = table[from][mask];
+      for (int nb : forest.forest_neighbors(from)) {
+        if (nb == to || !msg[nb].count(from)) continue;
+        auto nb_sep = separator(nb, from);
+        std::size_t sep_mask = 0;
+        for (std::size_t s = 0; s < nb_sep.size(); ++s) {
+          std::size_t idx =
+              std::lower_bound(clique.begin(), clique.end(), nb_sep[s]) -
+              clique.begin();
+          sep_mask |= ((mask >> idx) & 1u) << s;
+        }
+        value *= msg[nb][from][sep_mask];
+      }
+      std::size_t sep_mask = 0;
+      for (std::size_t s = 0; s < sep.size(); ++s) {
+        std::size_t idx =
+            std::lower_bound(clique.begin(), clique.end(), sep[s]) -
+            clique.begin();
+        sep_mask |= ((mask >> idx) & 1u) << s;
+      }
+      out[sep_mask] += value;
+    }
+    msg[from][to] = std::move(out);
+  };
+
+  // Root each tree at its smallest clique index; schedule via DFS orders.
+  std::vector<int> parent(static_cast<std::size_t>(m), -2);
+  std::vector<int> order;
+  for (int root = 0; root < m; ++root) {
+    if (parent[root] != -2) continue;
+    parent[root] = -1;
+    std::vector<int> stack = {root};
+    while (!stack.empty()) {
+      int c = stack.back();
+      stack.pop_back();
+      order.push_back(c);
+      for (int nb : forest.forest_neighbors(c)) {
+        if (parent[nb] == -2) {
+          parent[nb] = c;
+          stack.push_back(nb);
+        }
+      }
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (parent[*it] >= 0) send(*it, parent[*it]);  // upward pass
+  }
+  for (int c : order) {
+    if (parent[c] >= 0) send(parent[c], c);  // downward pass
+  }
+
+  // Beliefs: clique table times all incoming messages; marginalize.
+  std::vector<double> p1(static_cast<std::size_t>(mrf.graph.num_vertices()),
+                         -1.0);
+  for (int c = 0; c < m; ++c) {
+    const auto& clique = forest.clique(c);
+    std::vector<double> belief = table[c];
+    for (std::size_t mask = 0; mask < belief.size(); ++mask) {
+      for (int nb : forest.forest_neighbors(c)) {
+        auto sep = separator(nb, c);
+        std::size_t sep_mask = 0;
+        for (std::size_t s = 0; s < sep.size(); ++s) {
+          std::size_t idx =
+              std::lower_bound(clique.begin(), clique.end(), sep[s]) -
+              clique.begin();
+          sep_mask |= ((mask >> idx) & 1u) << s;
+        }
+        belief[mask] *= msg[nb][c][sep_mask];
+      }
+    }
+    double z = 0;
+    for (double b : belief) z += b;
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      if (p1[clique[i]] >= 0) continue;
+      double on = 0;
+      for (std::size_t mask = 0; mask < belief.size(); ++mask) {
+        if ((mask >> i) & 1u) on += belief[mask];
+      }
+      p1[clique[i]] = on / z;
+    }
+  }
+  return p1;
+}
+
+/// Brute-force marginals (for the cross-check; n <= ~20).
+std::vector<double> brute_marginals(const Mrf& mrf) {
+  const int n = mrf.graph.num_vertices();
+  std::vector<double> on(static_cast<std::size_t>(n), 0.0);
+  double z = 0;
+  std::vector<int> x(static_cast<std::size_t>(n), 0);
+  for (std::size_t mask = 0; mask < (1ull << n); ++mask) {
+    for (int v = 0; v < n; ++v) x[v] = (mask >> v) & 1u;
+    double w = std::exp(mrf.score(x));
+    z += w;
+    for (int v = 0; v < n; ++v) {
+      if (x[v]) on[v] += w;
+    }
+  }
+  for (auto& o : on) o /= z;
+  return on;
+}
+
+}  // namespace
+
+int main() {
+  // Small MRF: verify exactness against enumeration.
+  Mrf small = make_mrf(7, 3);
+  if (small.graph.num_vertices() <= 20) {
+    auto jt = junction_tree_marginals(small);
+    auto brute = brute_marginals(small);
+    double max_err = 0;
+    for (std::size_t v = 0; v < jt.size(); ++v) {
+      max_err = std::max(max_err, std::abs(jt[v] - brute[v]));
+    }
+    std::printf("small MRF (n=%d): junction-tree vs brute-force marginals, "
+                "max |error| = %.2e\n",
+                small.graph.num_vertices(), max_err);
+  }
+
+  // Large MRF: enumeration is hopeless (2^n states); the junction tree from
+  // the clique forest makes it linear in the number of cliques.
+  Mrf big = make_mrf(400, 9);
+  auto marginals = junction_tree_marginals(big);
+  double mean = 0;
+  for (double p : marginals) mean += p;
+  mean /= static_cast<double>(marginals.size());
+  std::printf("large MRF (n=%d, 2^n states): exact inference via the clique "
+              "forest; mean P(x=1) = %.4f\n",
+              big.graph.num_vertices(), mean);
+  std::printf("first five marginals:");
+  for (int v = 0; v < 5; ++v) std::printf(" %.4f", marginals[v]);
+  std::printf("\n");
+  return 0;
+}

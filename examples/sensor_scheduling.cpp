@@ -1,0 +1,60 @@
+// Scenario: duty-cycling sensors along a highway.
+//
+// Sensors cover overlapping stretches of a highway (intervals on a line -
+// an interval graph). At any time we want a maximum set of active sensors
+// whose ranges do not overlap (to avoid radio interference): a maximum
+// independent set. Sensors only talk to overlapping peers, so the selection
+// must be computed in the LOCAL model; Algorithm 5 gives (1+eps)-optimal
+// selections in O((1/eps) log* n) rounds (Theorem 6).
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "interval/mis_interval.hpp"
+#include "interval/offline.hpp"
+#include "interval/rep.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace chordal;
+  Table table({"deployment", "sensors", "eps", "active (ours)",
+               "active (optimal)", "ratio", "LOCAL rounds"});
+  struct Scenario {
+    const char* name;
+    double min_len, max_len, window_factor;
+  };
+  // Dense urban corridors collapse to scattered exact subproblems after the
+  // domination reduction; sparse rural chains exercise the full anchored
+  // machinery (ruling set + per-gap exact solves).
+  const Scenario scenarios[] = {
+      {"urban (dense)", 0.5, 3.0, 0.25},
+      {"rural (sparse chain)", 0, 0, 0},  // staircase deployment
+  };
+  for (const auto& scenario : scenarios) {
+    bool staircase = scenario.min_len == 0;
+    for (int n : {1000, 5000}) {
+      for (double eps : {0.5, 0.1}) {
+        auto gen = staircase
+                       ? staircase_interval(n, 0.62, 0.05, 77)
+                       : random_interval({.n = n,
+                                          .window = n * scenario.window_factor,
+                                          .min_len = scenario.min_len,
+                                          .max_len = scenario.max_len,
+                                          .seed = 77});
+        auto rep = interval::from_geometry(gen.left, gen.right);
+        auto ours = interval::approx_mis_interval(rep, eps);
+        int opt = interval::alpha(rep);
+        table.add_row({scenario.name, Table::fmt(n), Table::fmt(eps, 2),
+                       Table::fmt((long long)ours.chosen.size()),
+                       Table::fmt(opt),
+                       Table::fmt(static_cast<double>(opt) /
+                                      static_cast<double>(ours.chosen.size()),
+                                  4),
+                       Table::fmt(ours.rounds)});
+      }
+    }
+  }
+  std::printf("Highway sensor duty-cycling via distributed interval MIS\n\n");
+  table.print();
+  std::printf("\nratio = optimal / ours; the guarantee is ratio <= 1+eps.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include <algorithm>
+
+#include "baselines/baselines.hpp"
+#include "graph/peo.hpp"
+
+namespace chordal::baselines {
+
+std::vector<int> optimal_coloring_chordal(const Graph& g) {
+  EliminationOrder peo = peo_or_throw(g);
+  std::vector<int> colors(static_cast<std::size_t>(g.num_vertices()), -1);
+  // Reverse elimination order: when v is colored, its already-colored
+  // neighbors form a clique (they are v's later neighbors), so the smallest
+  // free color is < omega.
+  for (auto it = peo.order.rbegin(); it != peo.order.rend(); ++it) {
+    int v = *it;
+    std::vector<char> used;
+    for (int w : g.neighbors(v)) {
+      if (colors[w] >= 0) {
+        if (colors[w] >= static_cast<int>(used.size())) {
+          used.resize(static_cast<std::size_t>(colors[w]) + 1, 0);
+        }
+        used[colors[w]] = 1;
+      }
+    }
+    int c = 0;
+    while (c < static_cast<int>(used.size()) && used[c]) ++c;
+    colors[v] = c;
+  }
+  return colors;
+}
+
+int chromatic_number_chordal(const Graph& g) {
+  auto colors = optimal_coloring_chordal(g);
+  int max_color = -1;
+  for (int c : colors) max_color = std::max(max_color, c);
+  return max_color + 1;
+}
+
+}  // namespace chordal::baselines

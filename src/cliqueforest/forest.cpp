@@ -1,0 +1,118 @@
+#include "cliqueforest/forest.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/cliques.hpp"
+#include "support/union_find.hpp"
+
+namespace chordal {
+
+std::vector<WcigEdge> max_weight_spanning_forest(
+    const std::vector<std::vector<int>>& cliques, int num_graph_vertices) {
+  auto edges = wcig_edges(cliques, num_graph_vertices);
+  std::sort(edges.begin(), edges.end(),
+            [&cliques](const WcigEdge& e, const WcigEdge& f) {
+              return wcig_edge_less(f, e, cliques);  // decreasing order
+            });
+  UnionFind uf(static_cast<int>(cliques.size()));
+  std::vector<WcigEdge> chosen;
+  for (const auto& e : edges) {
+    if (uf.unite(e.a, e.b)) chosen.push_back(e);
+  }
+  return chosen;
+}
+
+CliqueForest CliqueForest::build(const Graph& g) {
+  return from_cliques(maximal_cliques_chordal(g), g.num_vertices());
+}
+
+CliqueForest CliqueForest::from_cliques(
+    std::vector<std::vector<int>> cliques, int num_graph_vertices) {
+  CliqueForest forest;
+  forest.num_graph_vertices_ = num_graph_vertices;
+  forest.cliques_ = std::move(cliques);
+  forest.membership_ =
+      clique_membership(forest.cliques_, num_graph_vertices);
+  forest.adj_.assign(forest.cliques_.size(), {});
+  for (const auto& e :
+       max_weight_spanning_forest(forest.cliques_, num_graph_vertices)) {
+    forest.adj_[e.a].push_back(e.b);
+    forest.adj_[e.b].push_back(e.a);
+  }
+  for (auto& list : forest.adj_) std::sort(list.begin(), list.end());
+  return forest;
+}
+
+std::vector<std::pair<int, int>> CliqueForest::forest_edges() const {
+  std::vector<std::pair<int, int>> out;
+  for (int c = 0; c < num_cliques(); ++c) {
+    for (int d : adj_[c]) {
+      if (c < d) out.emplace_back(c, d);
+    }
+  }
+  return out;
+}
+
+void CliqueForest::verify(const Graph& g) const {
+  // (1) Every vertex lies in at least one clique.
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (membership_[v].empty()) {
+      throw std::logic_error("clique forest: vertex in no clique");
+    }
+  }
+  // (2) Every edge is inside some clique.
+  for (auto [u, v] : g.edges()) {
+    bool covered = false;
+    for (int c : membership_[u]) {
+      covered = covered ||
+                std::binary_search(cliques_[c].begin(), cliques_[c].end(), v);
+    }
+    if (!covered) throw std::logic_error("clique forest: edge uncovered");
+  }
+  // (3) Forest is acyclic: edges <= cliques - components.
+  UnionFind uf(num_cliques());
+  for (auto [a, b] : forest_edges()) {
+    if (!uf.unite(a, b)) {
+      throw std::logic_error("clique forest: cycle in forest");
+    }
+  }
+  // (4) phi(v) induces a connected subgraph (the subtree T(v)).
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto& family = membership_[v];
+    std::vector<char> in_family(static_cast<std::size_t>(num_cliques()), 0);
+    for (int c : family) in_family[c] = 1;
+    std::queue<int> queue;
+    std::vector<char> seen(static_cast<std::size_t>(num_cliques()), 0);
+    queue.push(family.front());
+    seen[family.front()] = 1;
+    std::size_t reached = 1;
+    while (!queue.empty()) {
+      int c = queue.front();
+      queue.pop();
+      for (int d : adj_[c]) {
+        if (in_family[d] && !seen[d]) {
+          seen[d] = 1;
+          ++reached;
+          queue.push(d);
+        }
+      }
+    }
+    if (reached != family.size()) {
+      throw std::logic_error("clique forest: T(v) disconnected");
+    }
+  }
+  // (5) Each pair of cliques joined by a forest edge intersects.
+  for (auto [a, b] : forest_edges()) {
+    std::vector<int> common;
+    std::set_intersection(cliques_[a].begin(), cliques_[a].end(),
+                          cliques_[b].begin(), cliques_[b].end(),
+                          std::back_inserter(common));
+    if (common.empty()) {
+      throw std::logic_error("clique forest: empty-intersection edge");
+    }
+  }
+}
+
+}  // namespace chordal

@@ -1,0 +1,57 @@
+// The clique forest of a chordal graph: the unique maximum weight spanning
+// forest of the weighted clique intersection graph W_G under the paper's
+// deterministic edge order (Theorem 2 + the Section 3 tie-breaking rule).
+#pragma once
+
+#include <vector>
+
+#include "cliqueforest/wcig.hpp"
+#include "graph/graph.hpp"
+
+namespace chordal {
+
+class CliqueForest {
+ public:
+  /// Full pipeline: verify chordality, extract maximal cliques, build W_G,
+  /// and select the unique MWSF via Kruskal over the deterministic order.
+  static CliqueForest build(const Graph& g);
+
+  /// Builds the forest over an explicitly given (canonical, sorted) family
+  /// of maximal cliques. `num_graph_vertices` is n of the underlying graph.
+  static CliqueForest from_cliques(std::vector<std::vector<int>> cliques,
+                                   int num_graph_vertices);
+
+  int num_cliques() const { return static_cast<int>(cliques_.size()); }
+  int num_graph_vertices() const { return num_graph_vertices_; }
+
+  const std::vector<std::vector<int>>& cliques() const { return cliques_; }
+  const std::vector<int>& clique(int c) const { return cliques_[c]; }
+
+  /// Forest adjacency (sorted) over clique indices.
+  const std::vector<int>& forest_neighbors(int c) const { return adj_[c]; }
+  int forest_degree(int c) const { return static_cast<int>(adj_[c].size()); }
+  std::vector<std::pair<int, int>> forest_edges() const;
+
+  /// phi(v): sorted clique indices containing vertex v. The induced
+  /// sub-forest is the subtree T(v) of the paper.
+  const std::vector<int>& cliques_of(int v) const { return membership_[v]; }
+
+  /// Checks the tree-decomposition axioms plus acyclicity against g.
+  /// Intended for tests; throws std::logic_error with a description of the
+  /// first violated property.
+  void verify(const Graph& g) const;
+
+ private:
+  std::vector<std::vector<int>> cliques_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::vector<int>> membership_;
+  int num_graph_vertices_ = 0;
+};
+
+/// Kruskal selection shared with local-view computation: returns the edges
+/// of the unique MWSF of the W_G induced by `cliques`, processing edges in
+/// decreasing deterministic order.
+std::vector<WcigEdge> max_weight_spanning_forest(
+    const std::vector<std::vector<int>>& cliques, int num_graph_vertices);
+
+}  // namespace chordal

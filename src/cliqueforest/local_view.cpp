@@ -1,0 +1,81 @@
+#include "cliqueforest/local_view.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "cliqueforest/forest.hpp"
+#include "graph/bfs.hpp"
+#include "graph/cliques.hpp"
+
+namespace chordal {
+
+LocalView compute_local_view(const Graph& g, int observer, int radius,
+                             const std::vector<char>* active) {
+  if (radius < 1) throw std::invalid_argument("local view: radius < 1");
+  std::vector<int> ball =
+      active == nullptr
+          ? ball_vertices(g, observer, radius)
+          : ball_vertices_restricted(g, observer, radius, *active);
+
+  std::vector<int> original;
+  Graph ball_graph = g.induced_subgraph(ball, &original);
+
+  // Distances inside the ball (== distances in G[active] up to radius).
+  std::vector<int> dist_in_ball = bfs_distances(ball_graph, 0);
+  // ball[0] is the observer (BFS order).
+
+  // Maximal cliques of the ball graph that contain a vertex at distance
+  // <= radius-1 are maximal cliques of the full graph: such a clique fits in
+  // the closed neighborhood of that vertex, which the ball fully contains,
+  // so no outside vertex could extend it.
+  auto local_cliques = maximal_cliques_chordal(ball_graph);
+  LocalView view;
+  for (auto& clique : local_cliques) {
+    bool trusted = false;
+    for (int lv : clique) trusted = trusted || dist_in_ball[lv] <= radius - 1;
+    if (!trusted) continue;
+    std::vector<int> global;
+    global.reserve(clique.size());
+    for (int lv : clique) global.push_back(original[lv]);
+    std::sort(global.begin(), global.end());
+    view.cliques.push_back(std::move(global));
+  }
+  std::sort(view.cliques.begin(), view.cliques.end());
+
+  // phi(u) for every trusted vertex u (distance <= radius-1).
+  std::map<int, std::vector<int>> phi;  // global vertex -> clique indices
+  for (std::size_t c = 0; c < view.cliques.size(); ++c) {
+    for (int v : view.cliques[c]) phi[v].push_back(static_cast<int>(c));
+  }
+  for (int lv = 0; lv < ball_graph.num_vertices(); ++lv) {
+    if (dist_in_ball[lv] <= radius - 1) {
+      view.trusted_vertices.push_back(original[lv]);
+    }
+  }
+  std::sort(view.trusted_vertices.begin(), view.trusted_vertices.end());
+
+  // For each trusted u: the unique MWSF of W restricted to phi(u) equals
+  // T(u) (Lemma 2). Union all such edges.
+  std::vector<std::pair<int, int>> edges;
+  for (int u : view.trusted_vertices) {
+    auto it = phi.find(u);
+    if (it == phi.end() || it->second.size() < 2) continue;
+    const auto& family = it->second;
+    std::vector<std::vector<int>> family_cliques;
+    family_cliques.reserve(family.size());
+    for (int c : family) family_cliques.push_back(view.cliques[c]);
+    for (const auto& e :
+         max_weight_spanning_forest(family_cliques, g.num_vertices())) {
+      int a = family[e.a];
+      int b = family[e.b];
+      edges.emplace_back(std::min(a, b), std::max(a, b));
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  view.forest_edges = std::move(edges);
+  return view;
+}
+
+}  // namespace chordal

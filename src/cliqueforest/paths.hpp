@@ -1,0 +1,63 @@
+// Maximal binary / pendant / internal paths of the (possibly partially
+// peeled) clique forest, plus the per-path metrics used by the peeling
+// thresholds: diameter (Algorithm 1) and independence number (Algorithm 6).
+#pragma once
+
+#include <vector>
+
+#include "cliqueforest/forest.hpp"
+#include "graph/graph.hpp"
+
+namespace chordal {
+
+struct ForestPath {
+  /// Clique indices in path order. For a pendant path with one attachment
+  /// the sequence is oriented so the attachment is on the right (the paper's
+  /// C_1, ..., C_k with edge C_k C_e).
+  std::vector<int> cliques;
+  bool pendant = false;  // otherwise internal (or pendant if also isolated)
+  /// Adjacent non-path cliques (the C_s / C_e of Lemmas 3 and 8); -1 if the
+  /// corresponding end is free. Pendant paths have attach_left == -1;
+  /// isolated components have both == -1 and count as pendant.
+  int attach_left = -1;
+  int attach_right = -1;
+};
+
+/// Decomposes the forest restricted to {c : active[c]} into its maximal
+/// binary paths (chains of cliques with active forest-degree <= 2),
+/// classifying each as pendant (an end has active degree <= 1) or internal
+/// (every vertex has active degree exactly 2, both ends attached).
+std::vector<ForestPath> maximal_binary_paths(const CliqueForest& forest,
+                                             const std::vector<char>& active);
+
+/// Vertices v whose whole active family phi_i(v) lies inside `path` - the
+/// set W of the paper (these are the vertices peeled with the path).
+std::vector<int> path_owned_vertices(const CliqueForest& forest,
+                                     const std::vector<char>& active_clique,
+                                     const ForestPath& path);
+
+/// All vertices in the union of the path's cliques (the V_P of Lemma 7).
+std::vector<int> path_union_vertices(const CliqueForest& forest,
+                                     const ForestPath& path);
+
+/// Interval model of G[V_P]: for each union vertex, the contiguous range of
+/// path positions of its cliques (clipped to the path). Two union vertices
+/// are adjacent iff their ranges intersect (see Lemma 7).
+struct PathIntervals {
+  std::vector<int> vertices;  // original vertex ids
+  std::vector<int> lo, hi;    // position ranges, parallel to `vertices`
+  int num_positions = 0;
+};
+PathIntervals path_intervals(const CliqueForest& forest,
+                             const ForestPath& path);
+
+/// diam(P): max distance in G between vertices of the path's clique union.
+/// (Shortest paths between union vertices never profit from leaving the
+/// union, so this equals the distance in the peeled graph G[U_i].)
+int path_diameter(const Graph& g, const CliqueForest& forest,
+                  const ForestPath& path);
+
+/// alpha(P): independence number of G[V_P]; exact via the interval model.
+int path_independence(const CliqueForest& forest, const ForestPath& path);
+
+}  // namespace chordal

@@ -1,0 +1,41 @@
+// Weighted clique intersection graph W_G (Section 3 of the paper).
+//
+// Vertices of W_G are the maximal cliques of a chordal graph G; two cliques
+// with a nonempty intersection are joined by an edge weighted by the
+// intersection size. The paper's linear order < on edges (weight, then the
+// lexicographically smaller clique word, then the larger one) makes the
+// maximum weight spanning forest unique, which is what lets independent
+// local computations agree on one global clique forest.
+#pragma once
+
+#include <vector>
+
+namespace chordal {
+
+struct WcigEdge {
+  int a = -1;      // clique index
+  int b = -1;      // clique index, a < b
+  int weight = 0;  // |C_a cut C_b|
+};
+
+/// All edges of W_G for the given clique family over vertices 0..n-1.
+/// Cliques must be sorted vertex lists. Output edges have a < b and are
+/// sorted by (a, b).
+std::vector<WcigEdge> wcig_edges(const std::vector<std::vector<int>>& cliques,
+                                 int num_graph_vertices);
+
+/// The paper's strict total order e < f on W_G edges:
+///   w_e < w_f, or (w_e == w_f and l_e < l_f lexicographically), or
+///   (both equal and h_e < h_f), where l/h are the lexicographically
+///   smaller/larger of the two incident cliques' sorted ID words.
+/// Comparing words (not indices) keeps the order meaningful across different
+/// local views that number cliques differently.
+bool wcig_edge_less(const WcigEdge& e, const WcigEdge& f,
+                    const std::vector<std::vector<int>>& cliques);
+
+/// Membership map: for every graph vertex v, the sorted list of clique
+/// indices containing v (the family phi(v)).
+std::vector<std::vector<int>> clique_membership(
+    const std::vector<std::vector<int>>& cliques, int num_graph_vertices);
+
+}  // namespace chordal

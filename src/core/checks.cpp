@@ -1,0 +1,84 @@
+#include "core/checks.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace chordal::core {
+
+bool is_proper_coloring(const Graph& g, std::span<const int> colors) {
+  if (static_cast<int>(colors.size()) != g.num_vertices()) return false;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (colors[v] < 0) return false;
+    for (int w : g.neighbors(v)) {
+      if (colors[v] == colors[w]) return false;
+    }
+  }
+  return true;
+}
+
+void require_proper_coloring(const Graph& g, std::span<const int> colors) {
+  if (static_cast<int>(colors.size()) != g.num_vertices()) {
+    throw std::logic_error("coloring: size mismatch");
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (colors[v] < 0) {
+      throw std::logic_error("coloring: vertex " + std::to_string(v) +
+                             " uncolored");
+    }
+    for (int w : g.neighbors(v)) {
+      if (colors[v] == colors[w]) {
+        throw std::logic_error("coloring: edge " + std::to_string(v) + "-" +
+                               std::to_string(w) + " monochromatic");
+      }
+    }
+  }
+}
+
+bool is_independent_set(const Graph& g, std::span<const int> vertices) {
+  std::set<int> seen;
+  for (int v : vertices) {
+    if (v < 0 || v >= g.num_vertices() || !seen.insert(v).second) {
+      return false;
+    }
+  }
+  for (int v : vertices) {
+    for (int w : g.neighbors(v)) {
+      if (seen.count(w)) return false;
+    }
+  }
+  return true;
+}
+
+void require_independent_set(const Graph& g,
+                             std::span<const int> vertices) {
+  std::set<int> seen;
+  for (int v : vertices) {
+    if (v < 0 || v >= g.num_vertices()) {
+      throw std::logic_error("independent set: vertex out of range");
+    }
+    if (!seen.insert(v).second) {
+      throw std::logic_error("independent set: duplicate vertex " +
+                             std::to_string(v));
+    }
+  }
+  for (int v : vertices) {
+    for (int w : g.neighbors(v)) {
+      if (seen.count(w)) {
+        throw std::logic_error("independent set: adjacent pair " +
+                               std::to_string(v) + "-" + std::to_string(w));
+      }
+    }
+  }
+}
+
+int count_colors(std::span<const int> colors) {
+  std::set<int> used;
+  for (int c : colors) {
+    if (c >= 0) used.insert(c);
+  }
+  return static_cast<int>(used.size());
+}
+
+}  // namespace chordal::core

@@ -1,0 +1,28 @@
+// Public output validators. The algorithms' results are plain vectors; these
+// helpers let downstream users (and the examples/benches) assert correctness
+// without reimplementing the checks, and throw with a pinpointed reason.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace chordal::core {
+
+/// True iff every vertex has a color >= 0 and no edge is monochromatic.
+bool is_proper_coloring(const Graph& g, std::span<const int> colors);
+
+/// Throws std::logic_error naming the offending vertex/edge if not proper.
+void require_proper_coloring(const Graph& g, std::span<const int> colors);
+
+/// True iff `vertices` are pairwise non-adjacent (duplicates rejected).
+bool is_independent_set(const Graph& g, std::span<const int> vertices);
+
+/// Throws std::logic_error naming the offending pair if dependent.
+void require_independent_set(const Graph& g, std::span<const int> vertices);
+
+/// Number of distinct colors used (ignores negative entries).
+int count_colors(std::span<const int> colors);
+
+}  // namespace chordal::core

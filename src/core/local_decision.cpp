@@ -1,0 +1,383 @@
+#include "core/local_decision.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "cliqueforest/local_view.hpp"
+#include "graph/bfs.hpp"
+#include "graph/diameter.hpp"
+
+namespace chordal::core {
+
+namespace {
+
+enum class EndKind { kBranch, kLeaf, kHorizon };
+
+struct ChainEnd {
+  EndKind kind = EndKind::kBranch;
+};
+
+/// What a node can certify about the maximal binary path around T(v) from
+/// its ball: the two end kinds, and the visible chain's diameter and
+/// independence number.
+struct ChainAnalysis {
+  bool family_binary = false;  // all cliques of T(v) have visible degree <=2
+  EndKind ends[2] = {EndKind::kBranch, EndKind::kBranch};
+  int diameter = 0;
+  int independence = 0;
+};
+
+ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
+                            const std::vector<char>& active) {
+  ChainAnalysis analysis;
+  LocalView view = compute_local_view(g, v, radius, &active);
+  const int m = static_cast<int>(view.cliques.size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(m));
+  for (auto [a, b] : view.forest_edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  // Distances within the active subgraph (what the ball actually shows).
+  auto dist = bfs_distances_restricted(g, v, active);
+  auto clique_maxdist = [&](int c) {
+    int far = 0;
+    for (int u : view.cliques[c]) far = std::max(far, dist[u]);
+    return far;
+  };
+  auto degree_trusted = [&](int c) { return clique_maxdist(c) <= radius - 2; };
+
+  // phi(v) within the view.
+  std::vector<int> family;
+  for (int c = 0; c < m; ++c) {
+    if (std::binary_search(view.cliques[c].begin(), view.cliques[c].end(),
+                           v)) {
+      family.push_back(c);
+    }
+  }
+  // Every clique of T(v) must be binary for v to be removable at all; all
+  // of them sit within distance 1 of v, hence degree-trusted.
+  for (int c : family) {
+    if (adj[c].size() >= 3) return analysis;
+  }
+  analysis.family_binary = true;
+
+  // Collect the maximal visible binary chain containing T(v). The family
+  // is a subpath; each side walks outward from one family tip along its
+  // unique non-family direction.
+  std::vector<char> in_family(static_cast<std::size_t>(m), 0);
+  for (int c : family) in_family[c] = 1;
+  std::vector<int> chain = family;
+  ChainEnd ends[2];
+  // The family is a subtree of a binary chain, i.e. a subpath, but it is
+  // stored in clique-index order: recover its true tips (members with at
+  // most one family neighbor) before walking outward.
+  int tips[2] = {family.front(), family.front()};
+  int steps[2] = {-1, -1};
+  if (family.size() == 1) {
+    std::size_t slot = 0;
+    for (int c : adj[tips[0]]) {
+      if (slot < 2) steps[slot++] = c;
+    }
+  } else {
+    int found = 0;
+    for (int c : family) {
+      int family_neighbors = 0;
+      for (int d : adj[c]) family_neighbors += in_family[d] ? 1 : 0;
+      if (family_neighbors <= 1 && found < 2) tips[found++] = c;
+    }
+    for (int side = 0; side < 2; ++side) {
+      for (int c : adj[tips[side]]) {
+        if (!in_family[c]) steps[side] = c;
+      }
+    }
+  }
+  for (int side = 0; side < 2; ++side) {
+    // Family cliques sit within Gamma[v]: degree-trusted, so a missing
+    // outward direction is a genuine leaf end of the maximal path.
+    if (steps[side] == -1) {
+      ends[side].kind = EndKind::kLeaf;
+      continue;
+    }
+    int prev = tips[side];
+    int cur = steps[side];
+    for (;;) {
+      if (adj[cur].size() >= 3) {
+        // Visible degrees never overestimate: a real branch vertex, which
+        // terminates the maximal binary path (and is not part of it).
+        ends[side].kind = EndKind::kBranch;
+        break;
+      }
+      chain.push_back(cur);
+      if (!degree_trusted(cur)) {
+        // The view may miss forest edges here; everything farther out is
+        // beyond the certainty horizon.
+        ends[side].kind = EndKind::kHorizon;
+        break;
+      }
+      int next = -1;
+      for (int c : adj[cur]) {
+        if (c != prev) next = c;
+      }
+      if (next == -1) {
+        ends[side].kind = EndKind::kLeaf;
+        break;
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+
+  analysis.ends[0] = ends[0].kind;
+  analysis.ends[1] = ends[1].kind;
+
+  // Diameter and independence number of the visible chain (exact within
+  // the active subgraph: the chain union's shortest paths never leave it,
+  // cf. path_diameter; independence via the chain's interval model).
+  std::vector<int> union_vertices;
+  for (int c : chain) {
+    union_vertices.insert(union_vertices.end(), view.cliques[c].begin(),
+                          view.cliques[c].end());
+  }
+  std::sort(union_vertices.begin(), union_vertices.end());
+  union_vertices.erase(
+      std::unique(union_vertices.begin(), union_vertices.end()),
+      union_vertices.end());
+  Graph induced = g.induced_subgraph(union_vertices);
+  analysis.diameter = diameter_double_sweep(induced);
+
+  // Independence: order chain cliques along the path; vertex ranges are
+  // their clipped clique positions; exact greedy on that interval model.
+  std::map<int, int> chain_pos;
+  {
+    // chain = family ++ side walks; recover path order by sorting along
+    // positions: walk from one true end. Simpler: positions via BFS in the
+    // chain's own adjacency (it is a path).
+    std::map<int, std::vector<int>> cadj;
+    std::vector<char> in_chain_set(static_cast<std::size_t>(m), 0);
+    for (int c : chain) in_chain_set[c] = 1;
+    for (int c : chain) {
+      for (int d : adj[c]) {
+        if (in_chain_set[d]) cadj[c].push_back(d);
+      }
+    }
+    int start = chain.front();
+    for (int c : chain) {
+      if (cadj[c].size() <= 1) start = c;
+    }
+    int prev = -1, cur = start, pos = 0;
+    while (cur != -1) {
+      chain_pos[cur] = pos++;
+      int next = -1;
+      for (int d : cadj[cur]) {
+        if (d != prev) next = d;
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+  {
+    std::vector<std::pair<int, int>> ranges;  // (hi, lo) per union vertex
+    for (int u : union_vertices) {
+      int lo = static_cast<int>(chain.size()), hi = -1;
+      for (int c : chain) {
+        if (std::binary_search(view.cliques[c].begin(),
+                               view.cliques[c].end(), u)) {
+          lo = std::min(lo, chain_pos[c]);
+          hi = std::max(hi, chain_pos[c]);
+        }
+      }
+      ranges.emplace_back(hi, lo);
+    }
+    std::sort(ranges.begin(), ranges.end());
+    int last_hi = -1, count = 0;
+    for (auto [hi, lo] : ranges) {
+      if (lo > last_hi) {
+        ++count;
+        last_hi = hi;
+      }
+    }
+    analysis.independence = count;
+  }
+  return analysis;
+}
+
+/// One node's coloring-mode pruning decision (threshold: diam >= 3k).
+bool decide_locally(const Graph& g, int v, int radius, int k,
+                    const std::vector<char>& active, bool* used_horizon) {
+  ChainAnalysis a = analyze_chain(g, v, radius, active);
+  if (!a.family_binary) return false;
+  if (a.ends[0] == EndKind::kLeaf || a.ends[1] == EndKind::kLeaf) return true;
+  if (a.ends[0] == EndKind::kHorizon || a.ends[1] == EndKind::kHorizon) {
+    if (used_horizon != nullptr) *used_horizon = true;
+    // The horizon is radius-2 away, so the visible chain already certifies
+    // diameter >= 3k; the maximal path is removable whatever lies beyond.
+    return true;
+  }
+  return a.diameter >= 3 * k;
+}
+
+/// One node's MIS-mode pruning decision: pendant always; internal paths by
+/// diam >= 2d+3 (early iterations) or alpha >= d (the final iteration).
+bool decide_locally_mis(const Graph& g, int v, int radius, int d,
+                        bool last_round, const std::vector<char>& active) {
+  ChainAnalysis a = analyze_chain(g, v, radius, active);
+  if (!a.family_binary) return false;
+  if (a.ends[0] == EndKind::kLeaf || a.ends[1] == EndKind::kLeaf) return true;
+  if (a.ends[0] == EndKind::kHorizon || a.ends[1] == EndKind::kHorizon) {
+    // radius = 4d+10 puts the horizon >= 4d+7 away: diameter certainly
+    // >= 2d+3, and alpha >= diameter/2 >= d, so the path is removable
+    // under either threshold.
+    return true;
+  }
+  return last_round ? a.independence >= d : a.diameter >= 2 * d + 3;
+}
+
+}  // namespace
+
+PeelingResult peel_with_local_decisions(const Graph& g,
+                                        const CliqueForest& forest, int k) {
+  const int radius = 10 * k;
+  const int m = forest.num_cliques();
+  PeelingResult result;
+  result.layer_of.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<char> active_clique(static_cast<std::size_t>(m), 1);
+  std::vector<char> active_vertex(static_cast<std::size_t>(g.num_vertices()),
+                                  1);
+  int remaining = g.num_vertices();
+  int iteration_cap = 4 * (32 - __builtin_clz(std::max(2, g.num_vertices())));
+
+  for (int iter = 1; remaining > 0; ++iter) {
+    if (iter > iteration_cap) {
+      throw std::logic_error("peel_with_local_decisions: no convergence");
+    }
+    int high_degree = 0;
+    for (int c = 0; c < m; ++c) {
+      if (!active_clique[c]) continue;
+      int deg = 0;
+      for (int nb : forest.forest_neighbors(c)) {
+        deg += active_clique[nb] ? 1 : 0;
+      }
+      if (deg >= 3) ++high_degree;
+    }
+    result.high_degree_counts.push_back(high_degree);
+    result.active_at.push_back(active_clique);
+
+    // Every active node decides independently from its own ball.
+    std::vector<char> removed(static_cast<std::size_t>(g.num_vertices()), 0);
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (!active_vertex[v]) continue;
+      if (decide_locally(g, v, radius, k, active_vertex, nullptr)) {
+        removed[v] = 1;
+      }
+    }
+
+    // Reconcile with the path structure: the removed set must be exactly
+    // the union of owned sets of the selected paths.
+    std::vector<LayerPath> taken;
+    std::size_t removed_total = 0;
+    for (int v = 0; v < g.num_vertices(); ++v) removed_total += removed[v];
+    std::size_t accounted = 0;
+    for (auto& path : maximal_binary_paths(forest, active_clique)) {
+      auto owned = path_owned_vertices(forest, active_clique, path);
+      if (owned.empty()) continue;
+      bool all = true, none = true;
+      for (int v : owned) {
+        if (removed[v]) {
+          none = false;
+        } else {
+          all = false;
+        }
+      }
+      if (!all && !none) {
+        throw std::logic_error(
+            "peel_with_local_decisions: split decision within one path");
+      }
+      if (!all) continue;
+      accounted += owned.size();
+      LayerPath lp;
+      lp.owned = std::move(owned);
+      lp.path = std::move(path);
+      taken.push_back(std::move(lp));
+    }
+    if (accounted != removed_total) {
+      throw std::logic_error(
+          "peel_with_local_decisions: removed set is not path-aligned");
+    }
+    if (taken.empty()) {
+      throw std::logic_error("peel_with_local_decisions: no progress");
+    }
+    for (const auto& lp : taken) {
+      for (int v : lp.owned) {
+        result.layer_of[v] = iter;
+        active_vertex[v] = 0;
+        --remaining;
+      }
+      for (int c : lp.path.cliques) active_clique[c] = 0;
+    }
+    result.layers.push_back(std::move(taken));
+    result.num_layers = iter;
+  }
+  return result;
+}
+
+LocalDecisionAudit audit_local_pruning(const Graph& g,
+                                       const CliqueForest& forest,
+                                       const PeelingResult& peeling, int k,
+                                       int stride) {
+  (void)forest;
+  LocalDecisionAudit audit;
+  const int radius = 10 * k;
+  for (int iter = 1; iter <= peeling.num_layers; ++iter) {
+    std::vector<char> active(static_cast<std::size_t>(g.num_vertices()), 0);
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      active[u] = peeling.layer_of[u] >= iter ? 1 : 0;
+    }
+    for (int v = 0; v < g.num_vertices(); v += std::max(1, stride)) {
+      if (!active[v]) continue;
+      bool horizon = false;
+      bool removed_locally = decide_locally(g, v, radius, k, active,
+                                            &horizon);
+      bool removed_globally = peeling.layer_of[v] == iter;
+      ++audit.decisions_checked;
+      if (horizon) ++audit.horizon_hits;
+      if (removed_locally != removed_globally) {
+        ++audit.mismatches;
+#ifdef CHORDAL_AUDIT_TRACE
+        std::fprintf(stderr, "audit mismatch: v=%d iter=%d local=%d global=%d\n",
+                     v, iter, removed_locally ? 1 : 0,
+                     removed_globally ? 1 : 0);
+#endif
+      }
+    }
+  }
+  return audit;
+}
+
+LocalDecisionAudit audit_local_pruning_mis(const Graph& g,
+                                           const CliqueForest& forest,
+                                           const PeelingResult& peeling,
+                                           int d, int stride) {
+  (void)forest;
+  LocalDecisionAudit audit;
+  const int radius = 4 * d + 10;
+  for (int iter = 1; iter <= peeling.num_layers; ++iter) {
+    bool last_round = iter == peeling.num_layers;
+    std::vector<char> active(static_cast<std::size_t>(g.num_vertices()), 0);
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      active[u] =
+          (peeling.layer_of[u] == 0 || peeling.layer_of[u] >= iter) ? 1 : 0;
+    }
+    for (int v = 0; v < g.num_vertices(); v += std::max(1, stride)) {
+      if (!active[v]) continue;
+      bool removed_locally =
+          decide_locally_mis(g, v, radius, d, last_round, active);
+      bool removed_globally = peeling.layer_of[v] == iter;
+      ++audit.decisions_checked;
+      if (removed_locally != removed_globally) ++audit.mismatches;
+    }
+  }
+  return audit;
+}
+
+}  // namespace chordal::core

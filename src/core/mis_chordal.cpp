@@ -1,0 +1,121 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/mis.hpp"
+#include "core/peeling.hpp"
+#include "interval/absorbing_mis.hpp"
+#include "interval/mis_interval.hpp"
+#include "interval/offline.hpp"
+
+namespace chordal::core {
+
+namespace {
+
+using interval::PathIntervals;
+
+/// Splits an interval model into connected components (local index lists).
+std::vector<std::vector<std::size_t>> model_components(
+    const PathIntervals& rep) {
+  return interval::components(rep);
+}
+
+}  // namespace
+
+MisResult mis_chordal(const Graph& g, const MisOptions& options) {
+  if (options.eps <= 0 || options.eps >= 0.5) {
+    throw std::invalid_argument("mis_chordal: eps must be in (0, 1/2)");
+  }
+  MisResult result;
+  if (g.num_vertices() == 0) return result;
+
+  result.d = options.d_override > 0
+                 ? options.d_override
+                 : static_cast<int>(std::ceil(64.0 / options.eps));
+  result.iterations = static_cast<int>(std::ceil(std::log2(
+                          static_cast<double>(result.d) / options.eps))) +
+                      2;
+
+  CliqueForest forest = CliqueForest::build(g);
+  PeelConfig config;
+  config.mode = PeelMode::kIndependentSet;
+  config.d = result.d;
+  config.max_iterations = result.iterations;
+  PeelingResult peeling = peel(g, forest, config);
+
+  std::vector<char> in_set(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<char> blocked(static_cast<std::size_t>(g.num_vertices()), 0);
+
+  // Ball radius per peel iteration: enough to see the 2d+3 diameter
+  // decisions plus the absorbing sweeps.
+  const std::int64_t ball_rounds = 4 * static_cast<std::int64_t>(result.d) +
+                                   6;
+
+  for (const auto& layer : peeling.layers) {
+    std::int64_t layer_mis_rounds = 0;
+    for (const auto& lp : layer) {
+      PathIntervals full = path_intervals(forest, lp.path);
+      // Eligible = owned vertices with no neighbor already chosen.
+      std::vector<std::size_t> eligible;
+      for (std::size_t i = 0; i < full.vertices.size(); ++i) {
+        int v = full.vertices[i];
+        if (!blocked[v] &&
+            std::binary_search(lp.owned.begin(), lp.owned.end(), v)) {
+          eligible.push_back(i);
+        }
+      }
+      if (eligible.empty()) continue;
+      PathIntervals model = interval::restrict(full, eligible);
+
+      for (const auto& comp : model_components(model)) {
+        PathIntervals sub = interval::restrict(model, comp);
+        std::vector<std::size_t> picked_local;
+        if (interval::alpha(sub) < result.d) {
+          ++result.absorbing_components;
+          // Attachment side: the component touches the left (right) end
+          // clique of the path iff some member covers the first (last)
+          // position; an attachment exists there iff the path has one.
+          bool touch_left = false, touch_right = false;
+          for (std::size_t i = 0; i < sub.vertices.size(); ++i) {
+            touch_left = touch_left || sub.lo[i] == 0;
+            touch_right = touch_right || sub.hi[i] == full.num_positions - 1;
+          }
+          interval::AttachSide side = interval::AttachSide::kNone;
+          if (lp.path.attach_left != -1 && touch_left) {
+            side = interval::AttachSide::kLeft;
+          }
+          if (lp.path.attach_right != -1 && touch_right) {
+            side = interval::AttachSide::kRight;
+          }
+          picked_local = interval::absorbing_mis(sub, side);
+          layer_mis_rounds = std::max<std::int64_t>(layer_mis_rounds,
+                                                    2 * result.d + 3);
+        } else {
+          ++result.approx_components;
+          auto res = interval::approx_mis_interval(sub, options.eps / 8.0);
+          picked_local = std::move(res.chosen);
+          layer_mis_rounds = std::max(layer_mis_rounds, res.rounds);
+        }
+        for (std::size_t i : picked_local) {
+          int v = sub.vertices[i];
+          if (blocked[v] || in_set[v]) {
+            throw std::logic_error("mis_chordal: conflicting pick");
+          }
+          in_set[v] = 1;
+        }
+        for (std::size_t i : picked_local) {
+          int v = sub.vertices[i];
+          for (int w : g.neighbors(v)) blocked[w] = 1;
+        }
+      }
+    }
+    result.rounds += ball_rounds + layer_mis_rounds;
+  }
+
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (in_set[v]) result.chosen.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace chordal::core

@@ -1,0 +1,12 @@
+#include "core/mvc.hpp"
+
+namespace chordal::core {
+
+MvcResult mvc_chordal_centralized(const Graph& g, double eps) {
+  MvcOptions options;
+  options.eps = eps;
+  options.layer_coloring = LayerColoringMode::kOptimal;
+  return mvc_chordal(g, options);
+}
+
+}  // namespace chordal::core

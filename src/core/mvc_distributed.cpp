@@ -1,0 +1,262 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/mvc.hpp"
+#include "core/local_decision.hpp"
+#include "core/peeling.hpp"
+#include "graph/cliques.hpp"
+#include "interval/col_int_graph.hpp"
+#include "interval/offline.hpp"
+#include "interval/window_recolor.hpp"
+#include "local/ball.hpp"
+
+namespace chordal::core {
+
+namespace {
+
+using interval::PathIntervals;
+
+/// Multi-source distances in the interval model (span-growth BFS).
+std::vector<int> interval_distances_from_set(
+    const PathIntervals& rep, const std::vector<std::size_t>& sources,
+    int max_level) {
+  const std::size_t n = rep.vertices.size();
+  std::vector<int> dist(n, -1);
+  int span_lo = rep.num_positions, span_hi = -1;
+  for (std::size_t s : sources) {
+    dist[s] = 0;
+    span_lo = std::min(span_lo, rep.lo[s]);
+    span_hi = std::max(span_hi, rep.hi[s]);
+  }
+  if (sources.empty()) return dist;
+  for (int level = 1; level <= max_level; ++level) {
+    int new_lo = span_lo, new_hi = span_hi;
+    bool any = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist[v] != -1) continue;
+      if (rep.lo[v] <= span_hi && rep.hi[v] >= span_lo) {
+        dist[v] = level;
+        new_lo = std::min(new_lo, rep.lo[v]);
+        new_hi = std::max(new_hi, rep.hi[v]);
+        any = true;
+      }
+    }
+    if (!any) break;
+    span_lo = new_lo;
+    span_hi = new_hi;
+  }
+  return dist;
+}
+
+struct Engine {
+  const Graph& g;
+  const MvcOptions& options;
+  MvcResult result;
+  CliqueForest forest;
+  PeelingResult peeling;
+  // Per-vertex completion time of the current phase (LOCAL clocks).
+  std::vector<std::int64_t> clock;
+
+  explicit Engine(const Graph& graph, const MvcOptions& opts)
+      : g(graph), options(opts), forest(CliqueForest::build(graph)) {}
+
+  void run() {
+    result.k = std::max(2, static_cast<int>(std::ceil(2.0 / options.eps)));
+    result.omega = 0;
+    for (const auto& clique : forest.cliques()) {
+      result.omega = std::max(result.omega, static_cast<int>(clique.size()));
+    }
+    result.colors.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+    clock.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+
+    if (options.pruning == PruningMode::kPerNodeLocalViews) {
+      peeling = peel_with_local_decisions(g, forest, result.k);
+    } else {
+      PeelConfig config;
+      config.mode = PeelMode::kColoring;
+      config.k = result.k;
+      peeling = peel(g, forest, config);
+    }
+    result.num_layers = peeling.num_layers;
+
+    // --- Pruning clocks: a node of layer i survived i iterations, each one
+    // a Gamma^{10k} collection (Algorithm 3).
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      clock[v] = static_cast<std::int64_t>(peeling.layer_of[v]) * 10 *
+                 result.k;
+    }
+    result.pruning_rounds =
+        *std::max_element(clock.begin(), clock.end());
+
+    color_layers();
+    result.coloring_rounds =
+        *std::max_element(clock.begin(), clock.end()) - result.pruning_rounds;
+
+    correct_layers();
+    result.rounds = *std::max_element(clock.begin(), clock.end());
+    result.correction_rounds =
+        result.rounds - result.coloring_rounds - result.pruning_rounds;
+
+    finalize_counts();
+  }
+
+  /// Phase 2: every layer is an interval graph (one clique path per peeled
+  /// path, Lemma 7); color each path's owned set independently - distinct
+  /// paths of one layer are non-adjacent (Lemma 11).
+  void color_layers() {
+    for (const auto& layer : peeling.layers) {
+      for (const auto& lp : layer) {
+        if (lp.owned.empty()) continue;
+        PathIntervals full = path_intervals(forest, lp.path);
+        std::vector<std::size_t> owned_idx;
+        std::vector<char> is_owned(full.vertices.size(), 0);
+        for (std::size_t i = 0; i < full.vertices.size(); ++i) {
+          if (std::binary_search(lp.owned.begin(), lp.owned.end(),
+                                 full.vertices[i])) {
+            owned_idx.push_back(i);
+            is_owned[i] = 1;
+          }
+        }
+        PathIntervals mine = interval::restrict(full, owned_idx);
+        std::int64_t spent = 0;
+        std::vector<int> colors;
+        if (options.layer_coloring == LayerColoringMode::kColIntGraph) {
+          auto res = interval::col_int_graph(mine, result.k);
+          colors = std::move(res.colors);
+          result.palette_violations += res.palette_violations;
+          spent = res.rounds;
+        } else {
+          colors = interval::color_optimal(mine);
+          spent = 1;
+        }
+        for (std::size_t i = 0; i < mine.vertices.size(); ++i) {
+          result.colors[mine.vertices[i]] = colors[i];
+          clock[mine.vertices[i]] += spent;
+        }
+      }
+    }
+  }
+
+  /// Phase 3: descending over layers, resolve conflicts between each path's
+  /// owned set W and its already-final neighbors W' (Lemmas 8-10).
+  void correct_layers() {
+    for (int layer = result.num_layers - 1; layer >= 1; --layer) {
+      for (const auto& lp : peeling.layers[static_cast<std::size_t>(layer) -
+                                           1]) {
+        correct_path(lp);
+      }
+    }
+  }
+
+  void correct_path(const LayerPath& lp) {
+    PathIntervals full = path_intervals(forest, lp.path);
+    const std::size_t n = full.vertices.size();
+    std::vector<char> is_owned(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      is_owned[i] = std::binary_search(lp.owned.begin(), lp.owned.end(),
+                                       full.vertices[i])
+                        ? 1
+                        : 0;
+    }
+    // W' = non-owned union vertices adjacent to an owned one. By Lemma 8
+    // they live in the end cliques of the path, so their clipped intervals
+    // capture all relevant adjacencies. Overlap-with-owned is tested via a
+    // prefix-max table over the owned intervals.
+    std::vector<int> owned_reach(static_cast<std::size_t>(full.num_positions),
+                                 -1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (is_owned[j]) {
+        owned_reach[full.lo[j]] = std::max(owned_reach[full.lo[j]],
+                                           full.hi[j]);
+      }
+    }
+    for (int p = 1; p < full.num_positions; ++p) {
+      owned_reach[p] = std::max(owned_reach[p], owned_reach[p - 1]);
+    }
+    std::vector<std::size_t> boundary;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_owned[i]) continue;
+      if (owned_reach[full.hi[i]] >= full.lo[i]) boundary.push_back(i);
+    }
+    if (boundary.empty()) return;
+
+    auto dist = interval_distances_from_set(full, boundary, result.k + 5);
+    // Window: everything within k+4 of W'; free = owned within k+3.
+    std::vector<std::size_t> window;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist[i] != -1 && dist[i] <= result.k + 4) window.push_back(i);
+    }
+    interval::RecolorProblem problem;
+    problem.rep = interval::restrict(full, window);
+    problem.fixed.assign(window.size(), -1);
+    int max_fixed = -1;
+    std::vector<std::size_t> free_local;
+    for (std::size_t w = 0; w < window.size(); ++w) {
+      std::size_t i = window[w];
+      bool free = is_owned[i] && dist[i] <= result.k + 3;
+      if (free) {
+        free_local.push_back(w);
+      } else {
+        problem.fixed[w] = result.colors[full.vertices[i]];
+        max_fixed = std::max(max_fixed, problem.fixed[w]);
+      }
+    }
+    if (free_local.empty()) return;
+    int w_win = interval::omega(problem.rep);
+    problem.palette =
+        std::max(w_win + w_win / result.k + 1, max_fixed + 1);
+    std::vector<int> solved;
+    for (;;) {
+      auto attempt = interval::extend_coloring(problem);
+      if (attempt.has_value()) {
+        solved = std::move(*attempt);
+        break;
+      }
+      ++problem.palette;  // Lemma 10 says unreachable; tracked tripwire.
+      ++result.palette_violations;
+      if (problem.palette > 3 * result.omega + 3) {
+        throw std::logic_error("mvc: correction window unsolvable");
+      }
+    }
+    // Timing: the path's parents act once W' and the untouched interior are
+    // final; recoloring is a local O(k) exchange (Algorithm 4).
+    std::int64_t ready = 0;
+    for (std::size_t w = 0; w < window.size(); ++w) {
+      ready = std::max(ready, clock[full.vertices[window[w]]]);
+    }
+    std::int64_t done = ready + result.k + 7;
+    for (std::size_t w : free_local) {
+      int v = full.vertices[window[w]];
+      if (result.colors[v] != solved[w]) ++result.recolored_vertices;
+      result.colors[v] = solved[w];
+      clock[v] = std::max(clock[v], done);
+    }
+  }
+
+  void finalize_counts() {
+    int max_color = -1;
+    for (int c : result.colors) max_color = std::max(max_color, c);
+    std::vector<char> used(static_cast<std::size_t>(max_color) + 1, 0);
+    for (int c : result.colors) {
+      if (c < 0) throw std::logic_error("mvc: uncolored vertex");
+      used[c] = 1;
+    }
+    result.num_colors = static_cast<int>(
+        std::count(used.begin(), used.end(), static_cast<char>(1)));
+  }
+};
+
+}  // namespace
+
+MvcResult mvc_chordal(const Graph& g, const MvcOptions& options) {
+  if (options.eps <= 0) {
+    throw std::invalid_argument("mvc_chordal: eps must be positive");
+  }
+  if (g.num_vertices() == 0) return {};
+  Engine engine(g, options);
+  engine.run();
+  return engine.result;
+}
+
+}  // namespace chordal::core

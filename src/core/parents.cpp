@@ -1,0 +1,89 @@
+#include "core/parents.hpp"
+
+#include <algorithm>
+
+namespace chordal::core {
+
+namespace {
+
+/// Multi-source BFS from a clique's vertices, restricted to alive vertices
+/// and capped at `limit` (distances beyond it are reported as -1).
+std::vector<int> clique_distances(const Graph& g,
+                                  const std::vector<int>& clique,
+                                  const std::vector<char>& alive, int limit) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<int> queue;
+  for (int s : clique) {
+    if (dist[s] == -1) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    int u = queue[head];
+    if (dist[u] >= limit) continue;
+    for (int w : g.neighbors(u)) {
+      if (alive[w] && dist[w] == -1) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+ParentAssignment compute_parents(const Graph& g, const CliqueForest& forest,
+                                 const PeelingResult& peeling, int k) {
+  ParentAssignment out;
+  out.parent.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  out.children.resize(static_cast<std::size_t>(g.num_vertices()));
+
+  for (std::size_t layer_idx = 0; layer_idx < peeling.layers.size();
+       ++layer_idx) {
+    int iter = static_cast<int>(layer_idx) + 1;
+    // U_i = nodes alive when this layer was peeled.
+    std::vector<char> alive(static_cast<std::size_t>(g.num_vertices()), 0);
+    for (int u = 0; u < g.num_vertices(); ++u) {
+      alive[u] =
+          (peeling.layer_of[u] == 0 || peeling.layer_of[u] >= iter) ? 1 : 0;
+    }
+    for (const auto& lp : peeling.layers[layer_idx]) {
+      // Distances within G[U_i] from each attachment clique (if any),
+      // capped at k+3 - nodes farther away keep their layer color and need
+      // no parent (Definition 1).
+      std::vector<int> dist_left, dist_right;
+      int cand_left = -1, cand_right = -1;
+      if (lp.path.attach_left != -1) {
+        const auto& clique = forest.clique(lp.path.attach_left);
+        dist_left = clique_distances(g, clique, alive, k + 3);
+        cand_left = *std::max_element(clique.begin(), clique.end());
+      }
+      if (lp.path.attach_right != -1) {
+        const auto& clique = forest.clique(lp.path.attach_right);
+        dist_right = clique_distances(g, clique, alive, k + 3);
+        cand_right = *std::max_element(clique.begin(), clique.end());
+      }
+      for (int v : lp.owned) {
+        int best = -1, cand = -1;
+        if (cand_left != -1 && dist_left[v] != -1 &&
+            dist_left[v] <= k + 3) {
+          best = dist_left[v];
+          cand = cand_left;
+        }
+        if (cand_right != -1 && dist_right[v] != -1 &&
+            dist_right[v] <= k + 3 && (best == -1 || dist_right[v] < best)) {
+          cand = cand_right;
+        }
+        out.parent[v] = cand;
+      }
+    }
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (out.parent[v] != -1) out.children[out.parent[v]].push_back(v);
+  }
+  return out;
+}
+
+}  // namespace chordal::core

@@ -1,0 +1,29 @@
+// Parents and children (Definition 1) - the coordination structure of the
+// color-correction phase. A peeled node v's parent is the maximum-ID node
+// of the attachment clique nearest to v (at most k+3 away), the node that
+// later recolors v via SetColor messages (Algorithm 4). Corollary 2: the
+// parent always sits in a strictly higher layer.
+#pragma once
+
+#include <vector>
+
+#include "core/peeling.hpp"
+#include "graph/graph.hpp"
+
+namespace chordal::core {
+
+struct ParentAssignment {
+  /// parent[v]: the correcting node, or -1 (the paper's bottom) when v's
+  /// path is a whole forest component or v is more than k+3 away from every
+  /// attachment clique (its layer color is already final).
+  std::vector<int> parent;
+  /// children[c]: sorted list of nodes v with parent[v] == c.
+  std::vector<std::vector<int>> children;
+};
+
+/// Computes Definition 1 over a coloring-mode peeling. Distances are taken
+/// in G[U_i], the graph alive when v's layer was peeled.
+ParentAssignment compute_parents(const Graph& g, const CliqueForest& forest,
+                                 const PeelingResult& peeling, int k);
+
+}  // namespace chordal::core

@@ -1,0 +1,99 @@
+#include "core/peeling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chordal::core {
+
+PeelingResult peel(const Graph& g, const CliqueForest& forest,
+                   const PeelConfig& config) {
+  if (config.mode == PeelMode::kColoring && config.k < 2) {
+    throw std::invalid_argument("peel: coloring mode requires k >= 2");
+  }
+  if (config.mode == PeelMode::kIndependentSet &&
+      (config.d < 1 || config.max_iterations < 1)) {
+    throw std::invalid_argument("peel: MIS mode requires d >= 1 and a bound");
+  }
+
+  const int m = forest.num_cliques();
+  PeelingResult result;
+  result.layer_of.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<char> active(static_cast<std::size_t>(m), 1);
+  int active_count = m;
+
+  // Lemma 6 allows at most ceil(log2 n)+1 iterations in coloring mode; use a
+  // generous cap as a bug tripwire.
+  int cap = config.mode == PeelMode::kColoring
+                ? 2 * static_cast<int>(std::ceil(std::log2(
+                          std::max(2, g.num_vertices())))) + 4
+                : config.max_iterations;
+
+  for (int iter = 1; active_count > 0 && iter <= cap; ++iter) {
+    int high_degree = 0;
+    for (int c = 0; c < m; ++c) {
+      if (!active[c]) continue;
+      int deg = 0;
+      for (int nb : forest.forest_neighbors(c)) deg += active[nb] ? 1 : 0;
+      if (deg >= 3) ++high_degree;
+    }
+    result.high_degree_counts.push_back(high_degree);
+
+    bool last_mis_round = config.mode == PeelMode::kIndependentSet &&
+                          iter == config.max_iterations;
+    std::vector<LayerPath> taken;
+    for (auto& path : maximal_binary_paths(forest, active)) {
+      bool selected;
+      if (path.pendant) {
+        selected = true;
+      } else if (config.mode == PeelMode::kColoring) {
+        selected = path_diameter(g, forest, path) >= 3 * config.k;
+      } else if (last_mis_round) {
+        selected = path_independence(forest, path) >= config.d;
+      } else {
+        selected = path_diameter(g, forest, path) >= 2 * config.d + 3;
+      }
+      if (!selected) continue;
+      LayerPath lp;
+      lp.owned = path_owned_vertices(forest, active, path);
+      lp.path = std::move(path);
+      taken.push_back(std::move(lp));
+    }
+
+    if (taken.empty()) {
+      if (config.mode == PeelMode::kColoring) {
+        throw std::logic_error("peel: no progress despite active cliques");
+      }
+      // MIS mode may legitimately stall between thresholds; still count the
+      // iteration (the distributed algorithm spends the rounds regardless).
+      result.layers.emplace_back();
+      result.active_at.push_back(active);
+      result.num_layers = iter;
+      continue;
+    }
+
+    result.active_at.push_back(active);
+    for (const auto& lp : taken) {
+      for (int v : lp.owned) {
+        if (result.layer_of[v] != 0) {
+          throw std::logic_error("peel: vertex peeled twice");
+        }
+        result.layer_of[v] = iter;
+      }
+      for (int c : lp.path.cliques) {
+        if (!active[c]) throw std::logic_error("peel: clique peeled twice");
+        active[c] = 0;
+        --active_count;
+      }
+    }
+    result.layers.push_back(std::move(taken));
+    result.num_layers = iter;
+  }
+
+  if (config.mode == PeelMode::kColoring && active_count > 0) {
+    throw std::logic_error("peel: iteration cap exceeded (Lemma 6 violated)");
+  }
+  return result;
+}
+
+}  // namespace chordal::core

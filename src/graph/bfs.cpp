@@ -1,0 +1,83 @@
+#include "graph/bfs.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace chordal {
+
+namespace {
+
+std::vector<int> bfs_impl(const Graph& g, std::span<const int> sources,
+                          const std::vector<char>* active, int radius_limit,
+                          std::vector<int>* order) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::queue<int> queue;
+  for (int s : sources) {
+    if (s < 0 || s >= g.num_vertices()) {
+      throw std::out_of_range("bfs: source out of range");
+    }
+    if (active != nullptr && !(*active)[s]) {
+      throw std::invalid_argument("bfs: inactive source");
+    }
+    if (dist[s] == -1) {
+      dist[s] = 0;
+      queue.push(s);
+      if (order != nullptr) order->push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop();
+    if (radius_limit >= 0 && dist[u] >= radius_limit) continue;
+    for (int w : g.neighbors(u)) {
+      if (dist[w] != -1) continue;
+      if (active != nullptr && !(*active)[w]) continue;
+      dist[w] = dist[u] + 1;
+      queue.push(w);
+      if (order != nullptr) order->push_back(w);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances(const Graph& g, int source) {
+  int s[] = {source};
+  return bfs_impl(g, s, nullptr, -1, nullptr);
+}
+
+std::vector<int> bfs_distances_multi(const Graph& g,
+                                     std::span<const int> sources) {
+  return bfs_impl(g, sources, nullptr, -1, nullptr);
+}
+
+std::vector<int> bfs_distances_restricted(const Graph& g, int source,
+                                          const std::vector<char>& active) {
+  int s[] = {source};
+  return bfs_impl(g, s, &active, -1, nullptr);
+}
+
+std::vector<int> ball_vertices(const Graph& g, int center, int radius) {
+  std::vector<int> order;
+  int s[] = {center};
+  bfs_impl(g, s, nullptr, radius, &order);
+  return order;
+}
+
+std::vector<int> ball_vertices_restricted(const Graph& g, int center,
+                                          int radius,
+                                          const std::vector<char>& active) {
+  std::vector<int> order;
+  int s[] = {center};
+  bfs_impl(g, s, &active, radius, &order);
+  return order;
+}
+
+int distance_between(const Graph& g, int u, int v) {
+  if (u == v) return 0;
+  auto dist = bfs_distances(g, u);
+  return dist[v];
+}
+
+}  // namespace chordal

@@ -1,0 +1,35 @@
+// Breadth-first search utilities: distances, balls, restricted searches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace chordal {
+
+/// Distances from `source`; unreachable vertices get -1.
+std::vector<int> bfs_distances(const Graph& g, int source);
+
+/// Distances from any vertex in `sources` (multi-source BFS).
+std::vector<int> bfs_distances_multi(const Graph& g,
+                                     std::span<const int> sources);
+
+/// Distances from `source` within the subgraph induced by vertices where
+/// active[v] is true. Requires active[source].
+std::vector<int> bfs_distances_restricted(const Graph& g, int source,
+                                          const std::vector<char>& active);
+
+/// Vertices at distance <= radius from `center`, in BFS (distance, id) order.
+/// This is the closed ball Gamma^radius[center] of the paper.
+std::vector<int> ball_vertices(const Graph& g, int center, int radius);
+
+/// Ball restricted to an active vertex subset.
+std::vector<int> ball_vertices_restricted(const Graph& g, int center,
+                                          int radius,
+                                          const std::vector<char>& active);
+
+/// Exact distance between two vertices (-1 if disconnected); early-exits.
+int distance_between(const Graph& g, int u, int v);
+
+}  // namespace chordal

@@ -1,0 +1,34 @@
+// Maximal cliques.
+//
+// For chordal graphs the maximal cliques are exactly the maximal sets of the
+// form {v} union N_later(v) over a perfect elimination ordering
+// (Fulkerson-Gross); there are at most n of them and they are extracted in
+// near-linear time. A Bron-Kerbosch enumerator is provided as the
+// brute-force oracle for property tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/peo.hpp"
+
+namespace chordal {
+
+/// Maximal cliques of a chordal graph, each sorted ascending, and the list
+/// sorted lexicographically (so the output is canonical). Throws if g is not
+/// chordal.
+std::vector<std::vector<int>> maximal_cliques_chordal(const Graph& g);
+
+/// As above, but reuses an already-verified PEO.
+std::vector<std::vector<int>> maximal_cliques_chordal(
+    const Graph& g, const EliminationOrder& peo);
+
+/// Bron-Kerbosch with pivoting; works on any graph. Exponential in the worst
+/// case - intended for tests on small instances. Output canonicalized the
+/// same way as maximal_cliques_chordal.
+std::vector<std::vector<int>> maximal_cliques_bruteforce(const Graph& g);
+
+/// Size of the largest clique of a chordal graph == chromatic number chi(G).
+int max_clique_size_chordal(const Graph& g);
+
+}  // namespace chordal

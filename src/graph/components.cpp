@@ -1,0 +1,52 @@
+#include "graph/components.hpp"
+
+#include <queue>
+
+namespace chordal {
+
+std::vector<std::vector<int>> Components::groups() const {
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(count));
+  for (std::size_t v = 0; v < component.size(); ++v) {
+    if (component[v] >= 0) out[component[v]].push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+namespace {
+
+Components components_impl(const Graph& g, const std::vector<char>* active) {
+  Components result;
+  result.component.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (int start = 0; start < g.num_vertices(); ++start) {
+    if (result.component[start] != -1) continue;
+    if (active != nullptr && !(*active)[start]) continue;
+    int id = result.count++;
+    std::queue<int> queue;
+    queue.push(start);
+    result.component[start] = id;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop();
+      for (int w : g.neighbors(u)) {
+        if (result.component[w] != -1) continue;
+        if (active != nullptr && !(*active)[w]) continue;
+        result.component[w] = id;
+        queue.push(w);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Components connected_components(const Graph& g) {
+  return components_impl(g, nullptr);
+}
+
+Components connected_components_restricted(const Graph& g,
+                                           const std::vector<char>& active) {
+  return components_impl(g, &active);
+}
+
+}  // namespace chordal

@@ -1,0 +1,26 @@
+// Connected components.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace chordal {
+
+struct Components {
+  /// component[v] = index of v's component, in [0, count).
+  std::vector<int> component;
+  int count = 0;
+
+  /// Vertex lists grouped by component, each sorted ascending.
+  std::vector<std::vector<int>> groups() const;
+};
+
+Components connected_components(const Graph& g);
+
+/// Components of the subgraph induced by {v : active[v]}; inactive vertices
+/// get component -1.
+Components connected_components_restricted(const Graph& g,
+                                           const std::vector<char>& active);
+
+}  // namespace chordal

@@ -1,0 +1,48 @@
+#include "graph/diameter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace chordal {
+
+namespace {
+
+int max_finite_distance(const std::vector<int>& dist) {
+  int best = 0;
+  for (int d : dist) {
+    if (d == -1) throw std::invalid_argument("diameter: graph not connected");
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace
+
+int diameter_exact(const Graph& g) {
+  if (g.num_vertices() <= 1) return 0;
+  int best = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    best = std::max(best, max_finite_distance(bfs_distances(g, v)));
+  }
+  return best;
+}
+
+int diameter_double_sweep(const Graph& g, int seed) {
+  if (g.num_vertices() <= 1) return 0;
+  auto dist = bfs_distances(g, seed);
+  int far = seed;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] == -1) throw std::invalid_argument("diameter: not connected");
+    if (dist[v] > dist[far]) far = v;
+  }
+  return max_finite_distance(bfs_distances(g, far));
+}
+
+int eccentricity(const Graph& g, int v) {
+  if (g.num_vertices() <= 1) return 0;
+  return max_finite_distance(bfs_distances(g, v));
+}
+
+}  // namespace chordal

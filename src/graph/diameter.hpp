@@ -1,0 +1,28 @@
+// Diameter and eccentricity computations.
+//
+// The peeling process (Algorithm 1, step 1a) thresholds clique-forest paths
+// by the *exact* diameter of the interval subgraph they induce, so we provide
+// both an exact all-pairs routine (for tests / small graphs) and a
+// double-sweep BFS used in production and validated against the exact one by
+// property tests (exact on the connected interval graphs we feed it).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace chordal {
+
+/// Exact diameter via BFS from every vertex. O(n * m). Returns 0 for graphs
+/// with <= 1 vertex; requires a connected graph otherwise (throws if not).
+int diameter_exact(const Graph& g);
+
+/// Double-sweep: BFS from `seed`, then BFS from the farthest vertex found.
+/// Lower-bounds the diameter in general; exact on (connected) interval
+/// graphs, which is the only place the algorithms rely on it.
+int diameter_double_sweep(const Graph& g, int seed = 0);
+
+/// Eccentricity of v (max distance to any vertex; requires connectivity).
+int eccentricity(const Graph& g, int v);
+
+}  // namespace chordal

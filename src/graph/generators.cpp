@@ -1,0 +1,283 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chordal {
+
+Graph path_graph(int n) {
+  GraphBuilder b(n);
+  for (int v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph complete_graph(int n) {
+  GraphBuilder b(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph star_graph(int leaves) {
+  GraphBuilder b(leaves + 1);
+  for (int v = 1; v <= leaves; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph caterpillar(int spine, int legs) {
+  GraphBuilder b(spine * (1 + legs));
+  for (int s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  int next = spine;
+  for (int s = 0; s < spine; ++s) {
+    for (int l = 0; l < legs; ++l) b.add_edge(s, next++);
+  }
+  return b.build();
+}
+
+Graph broom(int handle, int bristles) {
+  GraphBuilder b(handle + bristles);
+  for (int v = 0; v + 1 < handle; ++v) b.add_edge(v, v + 1);
+  for (int l = 0; l < bristles; ++l) b.add_edge(handle - 1, handle + l);
+  return b.build();
+}
+
+Graph random_tree(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (int v = 1; v < n; ++v) {
+    b.add_edge(v, static_cast<int>(rng.next_below(v)));
+  }
+  return b.build();
+}
+
+Graph random_chordal(const RandomChordalConfig& config) {
+  if (config.n <= 0) throw std::invalid_argument("random_chordal: n <= 0");
+  if (config.max_clique < 2) {
+    throw std::invalid_argument("random_chordal: max_clique < 2");
+  }
+  Rng rng(config.seed);
+  GraphBuilder b(config.n);
+  // clique_at[v]: a clique containing v, recorded at v's insertion.
+  std::vector<std::vector<int>> clique_at(
+      static_cast<std::size_t>(config.n));
+  clique_at[0] = {0};
+  for (int v = 1; v < config.n; ++v) {
+    int anchor = rng.chance(config.chain_bias)
+                     ? v - 1
+                     : static_cast<int>(rng.next_below(v));
+    std::vector<int> base = clique_at[anchor];
+    int max_take = std::min<int>(static_cast<int>(base.size()),
+                                 config.max_clique - 1);
+    int take = 1 + static_cast<int>(rng.next_below(max_take));
+    rng.shuffle(base);
+    base.resize(static_cast<std::size_t>(take));
+    for (int u : base) b.add_edge(v, u);
+    base.push_back(v);
+    std::sort(base.begin(), base.end());
+    clique_at[v] = std::move(base);
+  }
+  return b.build();
+}
+
+namespace {
+
+/// Tree edges (parent, child) for `num_bags` bags under the given shape.
+std::vector<std::pair<int, int>> tree_skeleton(int num_bags, TreeShape shape,
+                                               Rng& rng) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(num_bags) - 1);
+  switch (shape) {
+    case TreeShape::kPath:
+      for (int i = 1; i < num_bags; ++i) edges.emplace_back(i - 1, i);
+      break;
+    case TreeShape::kCaterpillar: {
+      // Two thirds spine, one third pendant bags spread along it.
+      int spine = std::max(1, 2 * num_bags / 3);
+      for (int i = 1; i < spine; ++i) edges.emplace_back(i - 1, i);
+      for (int i = spine; i < num_bags; ++i) {
+        edges.emplace_back(static_cast<int>(rng.next_below(spine)), i);
+      }
+      break;
+    }
+    case TreeShape::kRandom:
+      for (int i = 1; i < num_bags; ++i) {
+        edges.emplace_back(static_cast<int>(rng.next_below(i)), i);
+      }
+      break;
+    case TreeShape::kBinary:
+      for (int i = 1; i < num_bags; ++i) edges.emplace_back((i - 1) / 2, i);
+      break;
+    case TreeShape::kSpider: {
+      // Hub bag 0 with ~sqrt(num_bags) legs of equal length.
+      int legs = std::max(3, static_cast<int>(std::max(1.0,
+                          std::sqrt(static_cast<double>(num_bags)))));
+      int prev_on_leg = -1;
+      int leg_len = std::max(1, (num_bags - 1) / legs);
+      for (int i = 1; i < num_bags; ++i) {
+        int idx_on_leg = (i - 1) % leg_len;
+        if (idx_on_leg == 0) prev_on_leg = 0;
+        edges.emplace_back(prev_on_leg, i);
+        prev_on_leg = i;
+      }
+      break;
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+GeneratedChordal random_chordal_from_clique_tree(const CliqueTreeConfig& c) {
+  if (c.num_bags <= 0) {
+    throw std::invalid_argument("clique_tree generator: num_bags <= 0");
+  }
+  if (c.min_bag_size < 1 || c.max_bag_size < c.min_bag_size) {
+    throw std::invalid_argument("clique_tree generator: bad bag sizes");
+  }
+  Rng rng(c.seed);
+  GeneratedChordal out;
+  out.tree_edges = tree_skeleton(c.num_bags, c.shape, rng);
+  out.bags.resize(static_cast<std::size_t>(c.num_bags));
+
+  int next_vertex = 0;
+  auto fresh = [&next_vertex]() { return next_vertex++; };
+
+  int root_size = static_cast<int>(
+      rng.uniform_int(c.min_bag_size, c.max_bag_size));
+  for (int i = 0; i < root_size; ++i) out.bags[0].push_back(fresh());
+
+  // tree_skeleton emits children in increasing index order with parents
+  // already materialized, so one pass suffices.
+  for (auto [parent, child] : out.tree_edges) {
+    std::vector<int> inherit = out.bags[parent];
+    int shared_cap = std::min<int>({static_cast<int>(inherit.size()),
+                                    c.max_shared, c.max_bag_size - 1});
+    int shared = 1 + static_cast<int>(rng.next_below(shared_cap));
+    rng.shuffle(inherit);
+    inherit.resize(static_cast<std::size_t>(shared));
+    int size = static_cast<int>(rng.uniform_int(
+        std::max(c.min_bag_size, shared + 1), std::max(c.max_bag_size,
+                                                       shared + 1)));
+    while (static_cast<int>(inherit.size()) < size) inherit.push_back(fresh());
+    std::sort(inherit.begin(), inherit.end());
+    out.bags[child] = std::move(inherit);
+  }
+
+  GraphBuilder b(next_vertex);
+  for (const auto& bag : out.bags) {
+    for (std::size_t i = 0; i < bag.size(); ++i) {
+      for (std::size_t j = i + 1; j < bag.size(); ++j) {
+        b.add_edge(bag[i], bag[j]);
+      }
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+GeneratedInterval random_interval(const RandomIntervalConfig& config) {
+  Rng rng(config.seed);
+  GeneratedInterval out;
+  out.left.resize(static_cast<std::size_t>(config.n));
+  out.right.resize(static_cast<std::size_t>(config.n));
+  for (int v = 0; v < config.n; ++v) {
+    double len = config.min_len +
+                 rng.uniform01() * (config.max_len - config.min_len);
+    double start = rng.uniform01() * config.window;
+    out.left[v] = start;
+    out.right[v] = start + len;
+  }
+  GraphBuilder b(config.n);
+  // Sweep by left endpoint; O(n^2) worst case but fine at bench scales.
+  std::vector<int> order(static_cast<std::size_t>(config.n));
+  for (int v = 0; v < config.n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](int a, int bb) {
+    return out.left[a] < out.left[bb];
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      int u = order[i], v = order[j];
+      if (out.left[v] > out.right[u]) break;
+      b.add_edge(u, v);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+GeneratedInterval random_unit_interval(int n, double window,
+                                       std::uint64_t seed) {
+  RandomIntervalConfig config;
+  config.n = n;
+  config.window = window;
+  config.min_len = 1.0;
+  config.max_len = 1.0;
+  config.seed = seed;
+  return random_interval(config);
+}
+
+GeneratedInterval staircase_interval(int n, double step, double jitter,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  GeneratedInterval out;
+  out.left.resize(static_cast<std::size_t>(n));
+  out.right.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    double start = v * step + (rng.uniform01() * 2.0 - 1.0) * jitter;
+    out.left[v] = start;
+    out.right[v] = start + 1.0;
+  }
+  GraphBuilder b(n);
+  // Interval v starts within [v*step - jitter, v*step + jitter], so overlap
+  // is impossible once (v - u) * step exceeds 1 + 2*jitter.
+  int span = step > 0 ? static_cast<int>((1.0 + 2.0 * jitter) / step) + 1
+                      : n;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < std::min(n, u + span + 1); ++v) {
+      if (out.left[u] <= out.right[v] && out.left[v] <= out.right[u]) {
+        b.add_edge(u, v);
+      }
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+Graph random_k_tree(int n, int k, std::uint64_t seed) {
+  if (k < 1 || n < k + 1) {
+    throw std::invalid_argument("random_k_tree: need n >= k+1, k >= 1");
+  }
+  Rng rng(seed);
+  GraphBuilder b(n);
+  std::vector<std::vector<int>> k_cliques;
+  std::vector<int> base;
+  for (int u = 0; u <= k; ++u) {
+    for (int v = u + 1; v <= k; ++v) b.add_edge(u, v);
+  }
+  for (int u = 0; u <= k; ++u) {
+    std::vector<int> clique;
+    for (int v = 0; v <= k; ++v) {
+      if (v != u) clique.push_back(v);
+    }
+    k_cliques.push_back(std::move(clique));
+  }
+  for (int v = k + 1; v < n; ++v) {
+    const auto& host =
+        k_cliques[static_cast<std::size_t>(rng.next_below(k_cliques.size()))];
+    std::vector<int> attach = host;  // copy before k_cliques reallocates
+    for (int u : attach) b.add_edge(v, u);
+    for (int skip = 0; skip < k; ++skip) {
+      std::vector<int> next;
+      for (int i = 0; i < k; ++i) {
+        if (i != skip) next.push_back(attach[i]);
+      }
+      next.push_back(v);
+      k_cliques.push_back(std::move(next));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace chordal

@@ -1,0 +1,76 @@
+// Undirected simple graph in compressed adjacency form.
+//
+// Vertices are 0..n-1. In the LOCAL-model terminology of the paper these are
+// the network *nodes*; a node's unique ID is its index (generators can also
+// attach a random relabeling where ID symmetry matters, e.g. the Theorem 9
+// lower-bound experiment).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chordal {
+
+class GraphBuilder;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  int num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edge_count_; }
+
+  /// Sorted neighbor list of v.
+  std::span<const int> neighbors(int v) const {
+    return {adj_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  int degree(int v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// O(log deg) membership test.
+  bool has_edge(int u, int v) const;
+
+  /// Maximum degree Delta(G).
+  int max_degree() const;
+
+  /// All edges as (u, v) pairs with u < v.
+  std::vector<std::pair<int, int>> edges() const;
+
+  /// Subgraph induced by `vertices` (need not be sorted; duplicates are an
+  /// error). Vertex i of the result corresponds to vertices[i]; the original
+  /// index is returned in `original_of` when non-null.
+  Graph induced_subgraph(std::span<const int> vertices,
+                         std::vector<int>* original_of = nullptr) const;
+
+  /// Human-readable one-line summary, e.g. "Graph(n=23, m=31)".
+  std::string summary() const;
+
+ private:
+  friend class GraphBuilder;
+  int n_ = 0;
+  std::size_t edge_count_ = 0;
+  std::vector<int> offsets_;  // size n_+1
+  std::vector<int> adj_;      // concatenated sorted neighbor lists
+};
+
+/// Incremental edge-list builder; deduplicates edges and rejects loops.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int n);
+
+  int num_vertices() const { return n_; }
+  void add_edge(int u, int v);
+
+  /// Finalizes into a Graph. The builder can keep being used afterwards.
+  Graph build() const;
+
+ private:
+  int n_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace chordal

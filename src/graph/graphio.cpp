@@ -1,0 +1,41 @@
+#include "graph/graphio.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace chordal {
+
+void write_graph(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (auto [u, v] : g.edges()) out << u << ' ' << v << '\n';
+}
+
+Graph read_graph(std::istream& in) {
+  int n = 0;
+  std::size_t m = 0;
+  if (!(in >> n >> m)) {
+    throw std::runtime_error("read_graph: malformed header");
+  }
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    int u = 0, v = 0;
+    if (!(in >> u >> v)) {
+      throw std::runtime_error("read_graph: truncated edge list");
+    }
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+std::string graph_to_string(const Graph& g) {
+  std::ostringstream out;
+  write_graph(out, g);
+  return out.str();
+}
+
+Graph graph_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_graph(in);
+}
+
+}  // namespace chordal

@@ -1,0 +1,18 @@
+// Minimal text serialization: line 1 is "n m", followed by m lines "u v".
+// Used by the examples so scenarios can be saved and re-run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace chordal {
+
+void write_graph(std::ostream& out, const Graph& g);
+Graph read_graph(std::istream& in);
+
+std::string graph_to_string(const Graph& g);
+Graph graph_from_string(const std::string& text);
+
+}  // namespace chordal

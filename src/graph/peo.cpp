@@ -1,0 +1,85 @@
+#include "graph/peo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/lexbfs.hpp"
+
+namespace chordal {
+
+EliminationOrder peo_candidate(const Graph& g) {
+  EliminationOrder peo;
+  peo.order = lexbfs_order(g);
+  std::reverse(peo.order.begin(), peo.order.end());
+  peo.position.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < peo.order.size(); ++i) {
+    peo.position[peo.order[i]] = static_cast<int>(i);
+  }
+  return peo;
+}
+
+bool is_perfect_elimination_order(const Graph& g,
+                                  const EliminationOrder& peo) {
+  const int n = g.num_vertices();
+  if (static_cast<int>(peo.order.size()) != n) return false;
+  // Deferred check: for each v, let u = the later neighbor of v closest to v
+  // in the order ("follower"). Then the PEO property holds iff
+  // N_later(v) \ {u} is always a subset of N(u). Accumulate the required
+  // adjacencies at u and verify them with one pass over u's neighborhood.
+  std::vector<std::vector<int>> required(static_cast<std::size_t>(n));
+  for (int v : peo.order) {
+    int follower = -1;
+    for (int w : g.neighbors(v)) {
+      if (peo.position[w] <= peo.position[v]) continue;
+      if (follower == -1 || peo.position[w] < peo.position[follower]) {
+        follower = w;
+      }
+    }
+    if (follower == -1) continue;
+    for (int w : g.neighbors(v)) {
+      if (peo.position[w] > peo.position[v] && w != follower) {
+        required[follower].push_back(w);
+      }
+    }
+  }
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  for (int u = 0; u < n; ++u) {
+    if (required[u].empty()) continue;
+    for (int w : g.neighbors(u)) mark[w] = 1;
+    bool ok = true;
+    for (int w : required[u]) ok = ok && mark[w];
+    for (int w : g.neighbors(u)) mark[w] = 0;
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool is_chordal(const Graph& g) {
+  return is_perfect_elimination_order(g, peo_candidate(g));
+}
+
+EliminationOrder peo_or_throw(const Graph& g) {
+  EliminationOrder peo = peo_candidate(g);
+  if (!is_perfect_elimination_order(g, peo)) {
+    throw std::invalid_argument("peo_or_throw: graph is not chordal");
+  }
+  return peo;
+}
+
+bool is_simplicial(const Graph& g, int v, const std::vector<char>& active) {
+  if (!active[v]) {
+    throw std::invalid_argument("is_simplicial: inactive vertex");
+  }
+  std::vector<int> nbrs;
+  for (int w : g.neighbors(v)) {
+    if (active[w]) nbrs.push_back(w);
+  }
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (!g.has_edge(nbrs[i], nbrs[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace chordal

@@ -1,0 +1,20 @@
+#include "graph/power.hpp"
+
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace chordal {
+
+Graph graph_power(const Graph& g, int k) {
+  if (k < 1) throw std::invalid_argument("graph_power: k < 1");
+  GraphBuilder b(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (int u : ball_vertices(g, v, k)) {
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace chordal

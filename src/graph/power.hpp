@@ -1,0 +1,16 @@
+// Graph powers. Algorithm 5 simulates MISUnitInterval on G^k (Section 6);
+// powers of interval graphs are interval (Raychaudhuri [29]) and powers of
+// unit interval graphs are unit interval, which is what makes that
+// simulation sound. The explicit power construction lives here for tests,
+// benches, and downstream users.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace chordal {
+
+/// G^k: same vertices, edges between distinct vertices at distance <= k.
+/// BFS per vertex: O(n * (n + m)).
+Graph graph_power(const Graph& g, int k);
+
+}  // namespace chordal

@@ -1,0 +1,48 @@
+#include "interval/absorbing_mis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace chordal::interval {
+
+std::vector<std::size_t> absorbing_mis(const PathIntervals& rep,
+                                       AttachSide side) {
+  const std::size_t n = rep.vertices.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (side == AttachSide::kLeft) {
+    // Attachment on the left: sweep right-to-left (latest start first).
+    std::sort(order.begin(), order.end(),
+              [&rep](std::size_t x, std::size_t y) {
+                if (rep.lo[x] != rep.lo[y]) return rep.lo[x] > rep.lo[y];
+                return rep.hi[x] > rep.hi[y];
+              });
+    std::vector<std::size_t> chosen;
+    int last_lo = rep.num_positions + 1;
+    for (std::size_t i : order) {
+      if (rep.hi[i] < last_lo) {
+        chosen.push_back(i);
+        last_lo = rep.lo[i];
+      }
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+  }
+  // No attachment or attachment on the right: classic left-to-right sweep.
+  std::sort(order.begin(), order.end(), [&rep](std::size_t x, std::size_t y) {
+    if (rep.hi[x] != rep.hi[y]) return rep.hi[x] < rep.hi[y];
+    return rep.lo[x] < rep.lo[y];
+  });
+  std::vector<std::size_t> chosen;
+  int last_hi = -1;
+  for (std::size_t i : order) {
+    if (rep.lo[i] > last_hi) {
+      chosen.push_back(i);
+      last_hi = rep.hi[i];
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace chordal::interval

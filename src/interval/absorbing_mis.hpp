@@ -1,0 +1,25 @@
+// Absorbing maximum independent sets (Section 7.1).
+//
+// For a small component H hanging off the remaining graph through at most
+// one clique C, Algorithm 6 needs a maximum independent set I_H with the
+// absorption property |I_H| = alpha(Gamma[I_H]): picking simplicial
+// vertices in order of remoteness from C (farthest first) achieves it. On
+// an interval model this is the greedy sweep that starts at the end of the
+// line opposite to the attachment.
+#pragma once
+
+#include <vector>
+
+#include "interval/rep.hpp"
+
+namespace chordal::interval {
+
+enum class AttachSide { kNone, kLeft, kRight };
+
+/// Maximum independent set of the (connected or not) interval model chosen
+/// greedily from the side opposite to `side`. Always alpha-optimal; with an
+/// attachment side it additionally absorbs its closed neighborhood.
+std::vector<std::size_t> absorbing_mis(const PathIntervals& rep,
+                                       AttachSide side);
+
+}  // namespace chordal::interval

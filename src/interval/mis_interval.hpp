@@ -1,0 +1,22 @@
+// Algorithm 5: deterministic distributed (1 + eps)-approximation for
+// Maximum Independent Set on interval graphs, O((1/eps) log* n) rounds
+// (Theorems 5 and 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/rep.hpp"
+
+namespace chordal::interval {
+
+struct IntervalMisResult {
+  std::vector<std::size_t> chosen;  // local indices into the input model
+  std::int64_t rounds = 0;
+  int k = 0;                        // ceil(2.5/eps + 0.5)
+};
+
+/// Runs Algorithm 5 on the interval model. eps in (0, 1).
+IntervalMisResult approx_mis_interval(const PathIntervals& rep, double eps);
+
+}  // namespace chordal::interval

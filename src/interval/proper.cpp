@@ -1,0 +1,34 @@
+#include "interval/proper.hpp"
+
+#include <algorithm>
+
+namespace chordal::interval {
+
+std::vector<std::size_t> proper_reduction(const PathIntervals& rep) {
+  Graph g = to_graph(rep);
+  const int n = g.num_vertices();
+  // Closed neighborhoods as sorted lists.
+  std::vector<std::vector<int>> closed(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    auto nb = g.neighbors(v);
+    closed[v].assign(nb.begin(), nb.end());
+    closed[v].insert(
+        std::lower_bound(closed[v].begin(), closed[v].end(), v), v);
+  }
+  std::vector<std::size_t> kept;
+  for (int v = 0; v < n; ++v) {
+    bool dominated = false;
+    for (int u : g.neighbors(v)) {
+      if (closed[u].size() >= closed[v].size()) continue;
+      if (std::includes(closed[v].begin(), closed[v].end(),
+                        closed[u].begin(), closed[u].end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(static_cast<std::size_t>(v));
+  }
+  return kept;
+}
+
+}  // namespace chordal::interval

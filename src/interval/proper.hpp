@@ -1,0 +1,19 @@
+// Domination reduction (first step of Algorithm 5): removing every vertex v
+// for which some u satisfies Gamma[v] strictly-contains Gamma[u] leaves a
+// proper interval graph, and never shrinks the maximum independent set
+// (a dominated vertex can always be swapped for a dominated-by one).
+#pragma once
+
+#include <vector>
+
+#include "interval/rep.hpp"
+
+namespace chordal::interval {
+
+/// Local indices of the vertices that survive the domination reduction,
+/// sorted. A vertex is removed iff it has a neighbor with a strictly smaller
+/// closed neighborhood (dominating pairs are always adjacent, so scanning
+/// edges suffices).
+std::vector<std::size_t> proper_reduction(const PathIntervals& rep);
+
+}  // namespace chordal::interval

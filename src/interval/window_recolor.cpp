@@ -1,0 +1,188 @@
+#include "interval/window_recolor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+
+namespace chordal::interval {
+
+namespace {
+
+struct Solver {
+  const PathIntervals& rep;
+  const std::vector<int>& fixed;
+  int palette;
+  std::int64_t budget;
+  RecolorStats* stats;
+  int rotation;  // restart index: rotates value-ordering tie-breaks
+
+  std::vector<std::vector<int>> neighbors;  // local indices
+  std::vector<int> assignment;              // -1 = unassigned
+  // Free vertices, most-constrained-first: ascending position gap to the
+  // nearest fixed vertex (boundary regions first, the freer middle last),
+  // then by lo.
+  std::vector<std::size_t> free_order;
+  // Per color: lo positions of fixed vertices using it (sorted), for the
+  // "stays free longest" value-ordering heuristic.
+  std::vector<std::vector<int>> fixed_use;
+
+  bool exhausted = false;
+
+  explicit Solver(const RecolorProblem& p, RecolorStats* s,
+                  std::int64_t node_budget, int restart)
+      : rep(p.rep), fixed(p.fixed), palette(p.palette),
+        budget(node_budget), stats(s), rotation(restart) {
+    const std::size_t n = rep.vertices.size();
+    if (fixed.size() != n) {
+      throw std::invalid_argument("extend_coloring: fixed size mismatch");
+    }
+    neighbors.assign(n, {});
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t x, std::size_t y) {
+                return rep.lo[x] < rep.lo[y];
+              });
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rep.lo[order[j]] > rep.hi[order[i]]) break;
+        neighbors[order[i]].push_back(static_cast<int>(order[j]));
+        neighbors[order[j]].push_back(static_cast<int>(order[i]));
+      }
+    }
+    assignment.assign(n, -1);
+    fixed_use.assign(static_cast<std::size_t>(palette), {});
+    for (std::size_t v = 0; v < n; ++v) {
+      if (fixed[v] >= 0) {
+        if (fixed[v] >= palette) {
+          throw std::invalid_argument(
+              "extend_coloring: fixed color outside palette");
+        }
+        assignment[v] = fixed[v];
+        fixed_use[fixed[v]].push_back(rep.lo[v]);
+      } else {
+        free_order.push_back(v);
+      }
+    }
+    for (auto& uses : fixed_use) std::sort(uses.begin(), uses.end());
+    if (rotation == 0) {
+      // Fast path: plain left-to-right order; solves the vast majority of
+      // windows greedily.
+      std::sort(free_order.begin(), free_order.end(),
+                [this](std::size_t x, std::size_t y) {
+                  if (rep.lo[x] != rep.lo[y]) return rep.lo[x] < rep.lo[y];
+                  return rep.hi[x] < rep.hi[y];
+                });
+    } else {
+      // Restart path: most-constrained-first - ascending position gap to
+      // the nearest fixed vertex, so both boundary regions are pinned down
+      // before the free middle absorbs the slack.
+      std::vector<int> gap(n, 1 << 28);
+      std::vector<std::size_t> fixed_list;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (fixed[v] >= 0) fixed_list.push_back(v);
+      }
+      for (std::size_t v : free_order) {
+        for (std::size_t w : fixed_list) {
+          int d = std::max({0, rep.lo[v] - rep.hi[w],
+                            rep.lo[w] - rep.hi[v]});
+          gap[v] = std::min(gap[v], d);
+        }
+      }
+      std::sort(free_order.begin(), free_order.end(),
+                [this, &gap](std::size_t x, std::size_t y) {
+                  if (gap[x] != gap[y]) return gap[x] < gap[y];
+                  if (rep.lo[x] != rep.lo[y]) return rep.lo[x] < rep.lo[y];
+                  return rep.hi[x] < rep.hi[y];
+                });
+    }
+  }
+
+  /// Position of the first fixed use of color c strictly right of hi; large
+  /// sentinel when none (the color is "safe forever").
+  int next_fixed_use_after(int c, int hi) const {
+    const auto& uses = fixed_use[c];
+    auto it = std::upper_bound(uses.begin(), uses.end(), hi);
+    return it == uses.end() ? rep.num_positions + 1 : *it;
+  }
+
+  bool solve(std::size_t idx) {
+    if (idx == free_order.size()) return true;
+    if (exhausted) return false;
+    std::size_t v = free_order[idx];
+    // Colors blocked by already-assigned overlapping vertices.
+    std::vector<char> blocked(static_cast<std::size_t>(palette), 0);
+    for (int u : neighbors[v]) {
+      if (assignment[u] >= 0) blocked[assignment[u]] = 1;
+    }
+    // (-next_use, rotated tie-break, color). Restarts rotate the tie-break
+    // so repeated attempts explore different regions deterministically.
+    std::vector<std::tuple<int, int, int>> candidates;
+    for (int c = 0; c < palette; ++c) {
+      if (!blocked[c]) {
+        candidates.emplace_back(-next_fixed_use_after(c, rep.hi[v]),
+                                (c + rotation * 7) % palette, c);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (auto [key, tie, c] : candidates) {
+      (void)key;
+      (void)tie;
+      if (--budget <= 0) {
+        exhausted = true;
+        return false;
+      }
+      if (stats != nullptr) {
+        ++stats->backtrack_nodes;
+      }
+      assignment[v] = c;
+      if (solve(idx + 1)) return true;
+      assignment[v] = -1;
+      if (stats != nullptr) stats->used_backtracking = true;
+      if (exhausted) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> extend_coloring(const RecolorProblem& problem,
+                                                RecolorStats* stats,
+                                                std::int64_t node_budget) {
+  if (problem.palette <= 0) {
+    throw std::invalid_argument("extend_coloring: empty palette");
+  }
+  // Deterministic restarts: each attempt rotates the value-ordering
+  // tie-break, which is usually enough to escape a thrashing region. The
+  // first attempt gets half the budget, the rest share the remainder.
+  constexpr int kRestarts = 6;
+  for (int attempt = 0; attempt < kRestarts; ++attempt) {
+    std::int64_t slice =
+        attempt == 0 ? node_budget / 2
+                     : node_budget / (2 * (kRestarts - 1));
+    Solver solver(problem, stats, std::max<std::int64_t>(slice, 1000),
+                  attempt);
+    if (attempt == 0) {
+      // Validate the precoloring itself before searching.
+      const std::size_t n = problem.rep.vertices.size();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (problem.fixed[v] < 0) continue;
+        for (int u : solver.neighbors[v]) {
+          if (problem.fixed[u] >= 0 &&
+              problem.fixed[u] == problem.fixed[v]) {
+            throw std::invalid_argument(
+                "extend_coloring: precoloring is not proper");
+          }
+        }
+      }
+    }
+    if (solver.solve(0)) return solver.assignment;
+    if (!solver.exhausted) return std::nullopt;  // proven infeasible
+    if (stats != nullptr) stats->used_backtracking = true;
+  }
+  return std::nullopt;
+}
+
+}  // namespace chordal::interval

@@ -1,0 +1,45 @@
+// The Lemma 9 recoloring engine.
+//
+// Lemma 9 (Halldorsson & Konrad [21]): on an interval graph whose clique
+// forest is a path with end cliques C_1, C_k legally precolored from at most
+// c colors and dist(C_1, C_k) >= r >= 5, the precoloring extends to the
+// whole graph with max{floor((1 + 1/(r-3)) chi) + 1, c} colors.
+//
+// Substitution note (DESIGN.md #3): [21]'s constructive proof is not
+// reproduced verbatim. Because LOCAL permits unbounded local computation, a
+// node may find the guaranteed-to-exist extension by exact search over its
+// O(k)-sized window; we run greedy-with-reservations first and fall back to
+// exact backtracking. The solver is generic precoloring extension on an
+// interval model: any subset of vertices may arrive with fixed colors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "interval/rep.hpp"
+
+namespace chordal::interval {
+
+struct RecolorProblem {
+  PathIntervals rep;
+  /// Per local index: fixed color >= 0, or -1 for "solver assigns".
+  std::vector<int> fixed;
+  /// Palette size: allowed colors are 0..palette-1.
+  int palette = 0;
+};
+
+struct RecolorStats {
+  std::int64_t backtrack_nodes = 0;
+  bool used_backtracking = false;
+};
+
+/// Completes the precoloring within the palette, or nullopt if no completion
+/// was found within `node_budget` search nodes (callers treat that as
+/// palette-too-small and retry wider; Lemma 9 guarantees it cannot happen
+/// for the windows the coloring algorithms construct).
+std::optional<std::vector<int>> extend_coloring(
+    const RecolorProblem& problem, RecolorStats* stats = nullptr,
+    std::int64_t node_budget = 4'000'000);
+
+}  // namespace chordal::interval

@@ -1,0 +1,31 @@
+#include "local/ball.hpp"
+
+#include "graph/bfs.hpp"
+
+namespace chordal::local {
+
+void RoundLedger::synchronize(std::span<const int> nodes) {
+  std::int64_t latest = 0;
+  for (int v : nodes) latest = std::max(latest, clock_[v]);
+  for (int v : nodes) clock_[v] = latest;
+}
+
+std::int64_t RoundLedger::max_clock() const {
+  std::int64_t latest = 0;
+  for (auto c : clock_) latest = std::max(latest, c);
+  return latest;
+}
+
+Ball collect_ball(const Graph& g, int center, int radius,
+                  const std::vector<char>* active, RoundLedger* ledger) {
+  Ball ball;
+  ball.vertices = active == nullptr
+                      ? ball_vertices(g, center, radius)
+                      : ball_vertices_restricted(g, center, radius, *active);
+  ball.graph = g.induced_subgraph(ball.vertices);
+  ball.dist = bfs_distances(ball.graph, 0);
+  if (ledger != nullptr) ledger->charge(center, radius);
+  return ball;
+}
+
+}  // namespace chordal::local

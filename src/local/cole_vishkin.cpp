@@ -1,0 +1,95 @@
+#include "local/cole_vishkin.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chordal::local {
+
+namespace {
+
+/// Index of the lowest bit where a and b differ; a != b required.
+int lowest_differing_bit(std::uint64_t a, std::uint64_t b) {
+  return __builtin_ctzll(a ^ b);
+}
+
+}  // namespace
+
+CvResult cole_vishkin_pseudoforest(std::span<const std::int64_t> ids,
+                                   std::span<const int> parent) {
+  const std::size_t n = ids.size();
+  if (parent.size() != n) {
+    throw std::invalid_argument("cole_vishkin: ids/parent size mismatch");
+  }
+  CvResult result;
+  std::vector<std::uint64_t> color(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    color[v] = static_cast<std::uint64_t>(ids[v]);
+    if (parent[v] >= 0 && ids[parent[v]] == ids[v]) {
+      throw std::invalid_argument("cole_vishkin: parent shares id");
+    }
+  }
+
+  // Phase 1: iterate new = 2 * i + bit_i(color) where i is the lowest bit in
+  // which the node's color differs from its parent's; roots compare bit 0
+  // against an imaginary parent. Each iteration reads the parent's current
+  // color: one round.
+  auto max_color = [&color] {
+    return color.empty() ? 0 : *std::max_element(color.begin(), color.end());
+  };
+  while (max_color() >= 6) {
+    std::vector<std::uint64_t> next(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (parent[v] < 0) {
+        next[v] = color[v] & 1u;  // i = 0 versus the imaginary parent
+      } else {
+        int i = lowest_differing_bit(color[v], color[parent[v]]);
+        next[v] = 2 * static_cast<std::uint64_t>(i) + ((color[v] >> i) & 1u);
+      }
+    }
+    color = std::move(next);
+    ++result.rounds;
+  }
+
+  // Phase 2: eliminate colors 5, 4, 3. Per target color: a shift-down round
+  // (everyone adopts the parent's color, so all children of a node agree,
+  // roots rotate their color) and a recolor round (nodes holding the target
+  // color pick a free color in {0,1,2}: they now conflict with at most their
+  // parent's color and their uniform children color).
+  for (std::uint64_t target = 5; target >= 3; --target) {
+    std::vector<std::uint64_t> shifted(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      shifted[v] = parent[v] < 0 ? (color[v] + 1) % 3 : color[parent[v]];
+    }
+    ++result.rounds;
+    std::vector<std::uint64_t> chosen = shifted;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (shifted[v] != target) continue;
+      std::uint64_t parent_color = parent[v] < 0 ? target : shifted[parent[v]];
+      std::uint64_t children_color = color[v];  // all children adopted this
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        if (c != parent_color && c != children_color) {
+          chosen[v] = c;
+          break;
+        }
+      }
+    }
+    ++result.rounds;
+    color = std::move(chosen);
+  }
+
+  result.colors.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    result.colors[v] = static_cast<int>(color[v]);
+  }
+  return result;
+}
+
+CvResult cole_vishkin_path(std::span<const std::int64_t> ids) {
+  std::vector<int> parent(ids.size());
+  for (std::size_t v = 0; v < ids.size(); ++v) {
+    parent[v] = static_cast<int>(v) - 1;
+  }
+  return cole_vishkin_pseudoforest(ids, parent);
+}
+
+}  // namespace chordal::local

@@ -1,0 +1,30 @@
+// Cole-Vishkin deterministic color reduction on oriented pseudoforests.
+//
+// Each node knows only its own state and (per round) its parent's current
+// color, so one iteration is one LOCAL round. Colors drop from O(log n) bits
+// to 6 in log* n iterations, then to 3 with six shift-down/recolor rounds
+// (Goldberg-Plotkin-Shannon). This is the deterministic symmetry-breaking
+// engine behind the O(log* n) terms in Theorems 4, 6 and 8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace chordal::local {
+
+struct CvResult {
+  std::vector<int> colors;  // in {0, 1, 2}
+  int rounds = 0;           // communication rounds consumed
+};
+
+/// 3-colors an oriented pseudoforest. `parent[v]` is v's out-neighbor or -1
+/// for roots; `ids[v]` are distinct node identifiers (initial colors).
+/// Following parent pointers must be acyclic.
+CvResult cole_vishkin_pseudoforest(std::span<const std::int64_t> ids,
+                                   std::span<const int> parent);
+
+/// Convenience: 3-coloring of a path given ids in path order.
+CvResult cole_vishkin_path(std::span<const std::int64_t> ids);
+
+}  // namespace chordal::local

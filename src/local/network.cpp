@@ -1,0 +1,36 @@
+#include "local/network.hpp"
+
+#include <stdexcept>
+
+namespace chordal::local {
+
+Network::Network(const Graph& g)
+    : graph_(&g),
+      inboxes_(static_cast<std::size_t>(g.num_vertices())),
+      pending_(static_cast<std::size_t>(g.num_vertices())) {}
+
+void Network::send(int from, int to, Payload data) {
+  if (!graph_->has_edge(from, to)) {
+    throw std::invalid_argument("Network::send: recipient is not a neighbor");
+  }
+  pending_[to].push_back({from, Message{from, std::move(data)}});
+}
+
+void Network::broadcast(int from, const Payload& data) {
+  for (int to : graph_->neighbors(from)) {
+    pending_[to].push_back({from, Message{from, data}});
+  }
+}
+
+void Network::deliver() {
+  for (int v = 0; v < num_nodes(); ++v) {
+    inboxes_[v].clear();
+    for (auto& [from, msg] : pending_[v]) {
+      inboxes_[v].push_back(std::move(msg));
+    }
+    pending_[v].clear();
+  }
+  ++rounds_;
+}
+
+}  // namespace chordal::local

@@ -1,0 +1,56 @@
+// Round-based LOCAL-model message-passing engine.
+//
+// The LOCAL model: per round, every node may send an unbounded message to
+// each neighbor, receive its neighbors' messages, and compute arbitrarily.
+// Algorithms drive the engine in a strict pattern - a compute pass over all
+// nodes issuing send() calls, then deliver() to advance the round - so
+// information demonstrably travels one hop per round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace chordal::local {
+
+/// Unbounded message payload (LOCAL allows arbitrary sizes).
+using Payload = std::vector<std::int64_t>;
+
+struct Message {
+  int from = -1;
+  Payload data;
+};
+
+class Network {
+ public:
+  explicit Network(const Graph& g);
+
+  const Graph& graph() const { return *graph_; }
+  int num_nodes() const { return graph_->num_vertices(); }
+
+  /// Queues a message for delivery at the end of the current round. `to`
+  /// must be a neighbor of `from` (enforced - this is the LOCAL model's
+  /// communication constraint).
+  void send(int from, int to, Payload data);
+
+  /// Queues the same payload to every neighbor of `from`.
+  void broadcast(int from, const Payload& data);
+
+  /// Messages delivered to `node` in the previous round.
+  const std::vector<Message>& inbox(int node) const { return inboxes_[node]; }
+
+  /// Ends the communication phase: delivers all queued messages and advances
+  /// the round counter.
+  void deliver();
+
+  int rounds() const { return rounds_; }
+
+ private:
+  const Graph* graph_;
+  std::vector<std::vector<Message>> inboxes_;
+  std::vector<std::vector<std::pair<int, Message>>> pending_;  // per recipient batches
+  int rounds_ = 0;
+};
+
+}  // namespace chordal::local

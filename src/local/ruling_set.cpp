@@ -1,0 +1,160 @@
+#include "local/ruling_set.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "local/cole_vishkin.hpp"
+
+namespace chordal::local {
+
+std::vector<int> interval_distances_from(const PathIntervals& rep,
+                                         std::size_t source, int max_level) {
+  const std::size_t n = rep.vertices.size();
+  std::vector<int> dist(n, -1);
+  dist[source] = 0;
+  // The distance-<=L set always spans a contiguous coordinate range, so BFS
+  // reduces to growing a span and absorbing, per level, the not-yet-seen
+  // intervals that touch it: a prefix of the lo-ascending order on the
+  // right and a prefix of the hi-descending order on the left. Each vertex
+  // is absorbed exactly once.
+  std::vector<std::size_t> by_lo(n), by_hi(n);
+  for (std::size_t i = 0; i < n; ++i) by_lo[i] = by_hi[i] = i;
+  std::sort(by_lo.begin(), by_lo.end(), [&rep](std::size_t x, std::size_t y) {
+    return rep.lo[x] < rep.lo[y];
+  });
+  std::sort(by_hi.begin(), by_hi.end(), [&rep](std::size_t x, std::size_t y) {
+    return rep.hi[x] > rep.hi[y];
+  });
+  std::size_t right = 0, left = 0;
+  int span_lo = rep.lo[source];
+  int span_hi = rep.hi[source];
+  for (int level = 1; max_level < 0 || level <= max_level; ++level) {
+    int new_lo = span_lo, new_hi = span_hi;
+    bool any = false;
+    while (right < n && rep.lo[by_lo[right]] <= span_hi) {
+      std::size_t v = by_lo[right++];
+      if (dist[v] == -1 && rep.hi[v] >= span_lo) {
+        dist[v] = level;
+        any = true;
+        new_lo = std::min(new_lo, rep.lo[v]);
+        new_hi = std::max(new_hi, rep.hi[v]);
+      }
+    }
+    while (left < n && rep.hi[by_hi[left]] >= span_lo) {
+      std::size_t v = by_hi[left++];
+      if (dist[v] == -1 && rep.lo[v] <= span_hi) {
+        dist[v] = level;
+        any = true;
+        new_lo = std::min(new_lo, rep.lo[v]);
+        new_hi = std::max(new_hi, rep.hi[v]);
+      }
+    }
+    if (!any) break;
+    span_lo = new_lo;
+    span_hi = new_hi;
+  }
+  return dist;
+}
+
+RulingSetResult distance_k_mis_interval(const PathIntervals& rep, int k) {
+  if (k < 1) throw std::invalid_argument("distance_k_mis_interval: k < 1");
+  const std::size_t n = rep.vertices.size();
+  RulingSetResult result;
+  if (n == 0) return result;
+
+  // --- Symmetry breaking (measured rounds): Cole-Vishkin on the
+  // rightmost-neighbor pseudoforest. succ(v) = the neighbor maximizing
+  // (hi, id); following succ strictly increases (hi, id), so it is acyclic.
+  std::vector<int> parent(n, -1);
+  {
+    // best vertex (by (hi, id)) among intervals with lo <= p, per position.
+    std::vector<int> best_at(static_cast<std::size_t>(rep.num_positions), -1);
+    auto better = [&](int x, int y) {  // is x better than y
+      if (y == -1) return true;
+      if (rep.hi[x] != rep.hi[y]) return rep.hi[x] > rep.hi[y];
+      return rep.vertices[x] > rep.vertices[y];
+    };
+    for (std::size_t v = 0; v < n; ++v) {
+      int& slot = best_at[rep.lo[v]];
+      if (better(static_cast<int>(v), slot)) slot = static_cast<int>(v);
+    }
+    for (int p = 1; p < rep.num_positions; ++p) {
+      if (best_at[p] == -1 || better(best_at[p - 1], best_at[p])) {
+        best_at[p] = best_at[p - 1];
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      int b = best_at[rep.hi[v]];
+      if (b != static_cast<int>(v)) parent[v] = b;
+    }
+  }
+  std::vector<std::int64_t> ids(n);
+  for (std::size_t v = 0; v < n; ++v) ids[v] = rep.vertices[v];
+  CvResult cv = cole_vishkin_pseudoforest(ids, parent);
+  // Each Cole-Vishkin iteration is simulated on G^k (k rounds per hop) and
+  // the fragment sweeps after symmetry breaking cost a constant number of
+  // distance-k exchanges.
+  result.rounds = static_cast<std::int64_t>(cv.rounds + 3) * k;
+
+  // --- Canonical anchor selection: repeatedly take the (hi, id)-smallest
+  // vertex at distance > k from every chosen anchor. Produces a maximal
+  // independent set of G^k. Vertices left of the scan pointer stay covered
+  // forever, and each anchor's BFS is capped at k levels and restricted to
+  // a coordinate window that k hops cannot escape, so the selection runs in
+  // near-linear total time.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&rep](std::size_t x, std::size_t y) {
+    if (rep.hi[x] != rep.hi[y]) return rep.hi[x] < rep.hi[y];
+    return rep.vertices[x] < rep.vertices[y];
+  });
+  std::vector<std::size_t> by_lo(n);
+  for (std::size_t i = 0; i < n; ++i) by_lo[i] = i;
+  std::sort(by_lo.begin(), by_lo.end(),
+            [&rep](std::size_t x, std::size_t y) {
+              return rep.lo[x] < rep.lo[y];
+            });
+  int max_len = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_len = std::max(max_len, rep.hi[i] - rep.lo[i] + 1);
+  }
+  std::vector<char> covered(n, 0);
+  std::size_t ptr = 0;
+  for (;;) {
+    while (ptr < n && covered[order[ptr]]) ++ptr;
+    if (ptr == n) break;
+    std::size_t next = order[ptr];
+    result.anchors.push_back(next);
+    // One hop extends the reachable span by at most max_len positions.
+    long long reach = static_cast<long long>(k + 1) * max_len;
+    int win_lo = static_cast<int>(
+        std::max<long long>(0, rep.lo[next] - reach));
+    int win_hi = static_cast<int>(rep.hi[next] + reach);
+    std::vector<std::size_t> cand;
+    auto first = std::lower_bound(
+        by_lo.begin(), by_lo.end(), win_lo,
+        [&rep](std::size_t v, int key) { return rep.lo[v] < key; });
+    std::size_t anchor_local = 0;
+    for (auto it = first; it != by_lo.end() && rep.lo[*it] <= win_hi; ++it) {
+      if (rep.hi[*it] >= win_lo) {
+        if (*it == next) anchor_local = cand.size();
+        cand.push_back(*it);
+      }
+    }
+    PathIntervals window;
+    window.num_positions = rep.num_positions;
+    for (std::size_t i : cand) {
+      window.vertices.push_back(rep.vertices[i]);
+      window.lo.push_back(rep.lo[i]);
+      window.hi.push_back(rep.hi[i]);
+    }
+    auto dist = interval_distances_from(window, anchor_local, k);
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (dist[i] != -1 && dist[i] <= k) covered[cand[i]] = 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace chordal::local

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for workload generators and
+// randomized algorithms. All experiments in this repository are seeded, so a
+// given (generator, seed, parameters) triple always produces the same graph
+// and the same algorithm run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chordal {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full generator
+/// state. Reference: Steele, Lea, Flood, "Fast splittable pseudorandom
+/// number generators" (OOPSLA 2014).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Small, fast, and good enough for
+/// synthetic-workload generation; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle of an index-addressable container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<int> permutation(int n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace chordal

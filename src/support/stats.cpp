@@ -1,0 +1,38 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chordal {
+
+void StatAccumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0) return samples.front();
+  if (q >= 1) return samples.back();
+  double pos = q * static_cast<double>(samples.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1 - frac) + samples[lo + 1] * frac;
+}
+
+}  // namespace chordal

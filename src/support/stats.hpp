@@ -1,0 +1,36 @@
+// Small statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace chordal {
+
+/// Streaming accumulator for min/max/mean/variance (Welford's algorithm).
+class StatAccumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation); q in [0, 1].
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace chordal

@@ -1,0 +1,35 @@
+// Plain-text table printer used by the bench harnesses to emit the
+// paper-claim-vs-measured rows recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chordal {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats the table with aligned columns and a header separator.
+  std::string to_string() const;
+
+  /// Convenience: prints to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(long long v);
+  static std::string fmt(long v) { return fmt(static_cast<long long>(v)); }
+  static std::string fmt(int v) { return fmt(static_cast<long long>(v)); }
+  static std::string fmt(unsigned long v) {
+    return fmt(static_cast<long long>(v));
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chordal

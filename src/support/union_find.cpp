@@ -1,0 +1,33 @@
+#include "support/union_find.hpp"
+
+#include <numeric>
+
+namespace chordal {
+
+UnionFind::UnionFind(int n)
+    : parent_(static_cast<std::size_t>(n)),
+      rank_(static_cast<std::size_t>(n), 0),
+      num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::find(int x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(int a, int b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --num_sets_;
+  return true;
+}
+
+}  // namespace chordal

@@ -1,0 +1,25 @@
+// Disjoint-set forest with union by rank and path halving. Used by the
+// Kruskal construction of the clique forest (Section 3 of the paper).
+#pragma once
+
+#include <vector>
+
+namespace chordal {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  int find(int x);
+  /// Merge the sets containing a and b; returns false if already merged.
+  bool unite(int a, int b);
+  bool same(int a, int b) { return find(a) == find(b); }
+  int num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  int num_sets_;
+};
+
+}  // namespace chordal

@@ -1,0 +1,79 @@
+// Coverage for the baseline algorithms: the distributed (Delta+1) greedy
+// (previously only exercised by benches) and corner cases of the exact
+// chordal baselines and Luby.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/checks.hpp"
+#include "graph/generators.hpp"
+#include "local/luby.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+class DPlusOneSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DPlusOneSeeds, ProperAndWithinDeltaPlusOne) {
+  RandomChordalConfig config;
+  config.n = 250;
+  config.max_clique = 6;
+  config.seed = GetParam();
+  Graph g = random_chordal(config);
+  auto result = baselines::dplus1_coloring(g, GetParam() * 11 + 5);
+  EXPECT_TRUE(core::is_proper_coloring(g, result.colors));
+  EXPECT_LE(result.num_colors, g.max_degree() + 1);
+  EXPECT_GT(result.rounds, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DPlusOneSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DPlusOne, CornerGraphs) {
+  auto star = baselines::dplus1_coloring(star_graph(7), 3);
+  EXPECT_TRUE(core::is_proper_coloring(star_graph(7), star.colors));
+  EXPECT_EQ(star.num_colors, 2);
+
+  auto complete = baselines::dplus1_coloring(complete_graph(9), 4);
+  EXPECT_TRUE(core::is_proper_coloring(complete_graph(9), complete.colors));
+  EXPECT_EQ(complete.num_colors, 9);
+
+  GraphBuilder lonely(3);
+  auto iso = baselines::dplus1_coloring(lonely.build(), 1);
+  EXPECT_EQ(iso.num_colors, 1);
+}
+
+TEST(ExactBaselines, CornerGraphs) {
+  EXPECT_EQ(baselines::chromatic_number_chordal(complete_graph(5)), 5);
+  EXPECT_EQ(baselines::chromatic_number_chordal(star_graph(6)), 2);
+  EXPECT_EQ(baselines::independence_number_chordal(complete_graph(5)), 1);
+  EXPECT_EQ(baselines::independence_number_chordal(star_graph(6)), 6);
+  EXPECT_EQ(baselines::independence_number_chordal(path_graph(9)), 5);
+  GraphBuilder b(2);
+  EXPECT_EQ(baselines::independence_number_chordal(b.build()), 2);
+}
+
+TEST(ExactBaselines, RejectNonChordalInput) {
+  GraphBuilder b(5);
+  for (int v = 0; v < 5; ++v) b.add_edge(v, (v + 1) % 5);  // C5
+  Graph c5 = b.build();
+  EXPECT_THROW(baselines::chromatic_number_chordal(c5),
+               std::invalid_argument);
+  EXPECT_THROW(baselines::maximum_independent_set_chordal(c5),
+               std::invalid_argument);
+}
+
+TEST(LubyBaseline, CornerGraphs) {
+  auto complete = local::luby_mis(complete_graph(10), 7);
+  EXPECT_EQ(complete.independent_set.size(), 1u);
+  auto star = local::luby_mis(star_graph(8), 7);
+  // Maximal on a star: either the center alone or all leaves.
+  EXPECT_TRUE(star.independent_set.size() == 1u ||
+              star.independent_set.size() == 8u);
+  GraphBuilder b(4);
+  auto empty_graph = local::luby_mis(b.build(), 7);
+  EXPECT_EQ(empty_graph.independent_set.size(), 4u);
+}
+
+}  // namespace
+}  // namespace chordal

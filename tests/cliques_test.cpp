@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "graph/cliques.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+TEST(Cliques, PaperExampleMaximalCliques) {
+  Graph g = testing::paper_figure1_graph();
+  auto cliques = maximal_cliques_chordal(g);
+  std::vector<std::vector<int>> expected;
+  for (auto clique : testing::paper_cliques_1indexed()) {
+    for (int& v : clique) --v;
+    expected.push_back(clique);
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(cliques, expected);
+}
+
+TEST(Cliques, PathAndCompleteAndStar) {
+  auto path_cliques = maximal_cliques_chordal(path_graph(4));
+  EXPECT_EQ(path_cliques.size(), 3u);
+  auto complete = maximal_cliques_chordal(complete_graph(5));
+  ASSERT_EQ(complete.size(), 1u);
+  EXPECT_EQ(complete[0].size(), 5u);
+  auto star = maximal_cliques_chordal(star_graph(4));
+  EXPECT_EQ(star.size(), 4u);
+}
+
+TEST(Cliques, IsolatedVerticesAreTheirOwnClique) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  auto cliques = maximal_cliques_chordal(b.build());
+  ASSERT_EQ(cliques.size(), 2u);
+  EXPECT_EQ(cliques[1], (std::vector<int>{2}));
+}
+
+TEST(Cliques, BruteForceAgreesOnPaperExample) {
+  Graph g = testing::paper_figure1_graph();
+  EXPECT_EQ(maximal_cliques_chordal(g), maximal_cliques_bruteforce(g));
+}
+
+class CliqueSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CliqueSeeds, ChordalExtractionMatchesBronKerbosch) {
+  RandomChordalConfig config;
+  config.n = 40;
+  config.max_clique = 5;
+  config.chain_bias = 0.4;
+  config.seed = GetParam();
+  Graph g = random_chordal(config);
+  EXPECT_EQ(maximal_cliques_chordal(g), maximal_cliques_bruteforce(g));
+}
+
+TEST_P(CliqueSeeds, CliqueTreeGeneratorMatchesBronKerbosch) {
+  CliqueTreeConfig config;
+  config.num_bags = 18;
+  config.seed = GetParam();
+  auto gen = random_chordal_from_clique_tree(config);
+  EXPECT_EQ(maximal_cliques_chordal(gen.graph),
+            maximal_cliques_bruteforce(gen.graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+TEST(Cliques, MaxCliqueSizeOnKnownGraphs) {
+  EXPECT_EQ(max_clique_size_chordal(complete_graph(7)), 7);
+  EXPECT_EQ(max_clique_size_chordal(path_graph(5)), 2);
+  EXPECT_EQ(max_clique_size_chordal(testing::paper_figure1_graph()), 3);
+}
+
+}  // namespace
+}  // namespace chordal

@@ -1,0 +1,155 @@
+// Failure-injection and edge-case coverage for the end-to-end pipelines:
+// disconnected inputs, isolated vertices, degenerate parameters, large
+// smoke runs, and the staircase generator's guarantees.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/baselines.hpp"
+#include "core/mis.hpp"
+#include "core/mvc.hpp"
+#include "graph/generators.hpp"
+#include "graph/graphio.hpp"
+#include "graph/peo.hpp"
+#include "interval/rep.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+Graph disconnected_mix(std::uint64_t seed) {
+  // Union of: a random chordal blob, a path, a clique, isolated vertices.
+  RandomChordalConfig config;
+  config.n = 60;
+  config.max_clique = 5;
+  config.seed = seed;
+  Graph blob = random_chordal(config);
+  GraphBuilder b(60 + 20 + 6 + 4);
+  for (auto [u, v] : blob.edges()) b.add_edge(u, v);
+  for (int i = 0; i < 19; ++i) b.add_edge(60 + i, 60 + i + 1);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) b.add_edge(80 + i, 80 + j);
+  }
+  return b.build();  // vertices 86..89 isolated
+}
+
+TEST(EdgeCases, MvcOnDisconnectedGraphWithIsolatedVertices) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = disconnected_mix(seed);
+    auto result = core::mvc_chordal(g, {.eps = 0.5});
+    EXPECT_TRUE(testing::is_proper_coloring(g, result.colors));
+    int chi = baselines::chromatic_number_chordal(g);
+    EXPECT_LE(result.num_colors, chi + chi / result.k + 1);
+  }
+}
+
+TEST(EdgeCases, MisOnDisconnectedGraphWithIsolatedVertices) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Graph g = disconnected_mix(seed);
+    auto result = core::mis_chordal(g, {.eps = 0.25});
+    EXPECT_TRUE(testing::is_independent_set(g, result.chosen));
+    int alpha = baselines::independence_number_chordal(g);
+    EXPECT_GE(result.chosen.size() * 5 / 4 + 1,
+              static_cast<std::size_t>(alpha));
+    // Isolated vertices must always be picked.
+    for (int v : {86, 87, 88, 89}) {
+      EXPECT_TRUE(std::binary_search(result.chosen.begin(),
+                                     result.chosen.end(), v));
+    }
+  }
+}
+
+TEST(EdgeCases, EdgelessGraph) {
+  GraphBuilder b(12);
+  Graph g = b.build();
+  auto coloring = core::mvc_chordal(g, {.eps = 0.5});
+  EXPECT_EQ(coloring.num_colors, 1);
+  auto mis = core::mis_chordal(g, {.eps = 0.25});
+  EXPECT_EQ(mis.chosen.size(), 12u);
+}
+
+TEST(EdgeCases, VeryLooseEpsStillSound) {
+  Graph g = testing::paper_figure1_graph();
+  auto result = core::mvc_chordal(g, {.eps = 100.0});  // k clamps to 2
+  EXPECT_TRUE(testing::is_proper_coloring(g, result.colors));
+  EXPECT_EQ(result.k, 2);
+}
+
+TEST(EdgeCases, TwoCliquesSharingOneVertex) {
+  // Classic "bowtie" chordal graph; the shared vertex sits in two maximal
+  // cliques and must end up colored consistently with both.
+  GraphBuilder b(9);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) b.add_edge(i, j);  // clique {0..3}
+  }
+  for (int i = 3; i < 9; ++i) {
+    for (int j = i + 1; j < 9; ++j) b.add_edge(i, j);  // clique {3..8}
+  }
+  Graph g = b.build();
+  auto result = core::mvc_chordal(g, {.eps = 0.5});
+  EXPECT_TRUE(testing::is_proper_coloring(g, result.colors));
+  EXPECT_EQ(result.omega, 6);
+}
+
+TEST(EdgeCases, LargeSmokeRunStaysWithinBounds) {
+  CliqueTreeConfig config;
+  config.num_bags = 10000;
+  config.shape = TreeShape::kRandom;
+  config.seed = 99;
+  auto gen = random_chordal_from_clique_tree(config);
+  ASSERT_GT(gen.graph.num_vertices(), 15000);
+  auto coloring = core::mvc_chordal(gen.graph, {.eps = 0.5});
+  EXPECT_TRUE(testing::is_proper_coloring(gen.graph, coloring.colors));
+  EXPECT_LE(coloring.num_colors,
+            coloring.omega + coloring.omega / coloring.k + 1);
+  EXPECT_EQ(coloring.palette_violations, 0);
+  auto mis = core::mis_chordal(gen.graph, {.eps = 0.3});
+  EXPECT_TRUE(testing::is_independent_set(gen.graph, mis.chosen));
+  int alpha = baselines::independence_number_chordal(gen.graph);
+  EXPECT_GE(static_cast<double>(mis.chosen.size()) * 1.3,
+            static_cast<double>(alpha));
+}
+
+TEST(EdgeCases, StaircaseGeneratorGeometryAndChordality) {
+  for (std::uint64_t seed : {1u, 5u}) {
+    auto gen = staircase_interval(300, 0.62, 0.05, seed);
+    EXPECT_TRUE(is_chordal(gen.graph));
+    // Geometry consistency.
+    for (int u = 0; u < 300; ++u) {
+      for (int v = u + 1; v < std::min(300, u + 6); ++v) {
+        bool overlap =
+            gen.left[u] <= gen.right[v] && gen.left[v] <= gen.right[u];
+        EXPECT_EQ(gen.graph.has_edge(u, v), overlap);
+      }
+    }
+    // Step 0.62 with small jitter: consecutive intervals overlap (one
+    // connected chain), and vertices three steps apart never touch.
+    for (int v = 0; v + 1 < 300; ++v) EXPECT_TRUE(gen.graph.has_edge(v, v + 1));
+    for (int v = 0; v + 3 < 300; ++v) {
+      EXPECT_FALSE(gen.graph.has_edge(v, v + 3));
+    }
+  }
+}
+
+TEST(EdgeCases, GraphIoFileRoundTrip) {
+  Graph g = testing::paper_figure1_graph();
+  const char* path = "graphio_roundtrip.tmp";
+  {
+    std::ofstream out(path);
+    write_graph(out, g);
+  }
+  std::ifstream in(path);
+  Graph g2 = read_graph(in);
+  EXPECT_EQ(g2.edges(), g.edges());
+  std::remove(path);
+}
+
+TEST(EdgeCases, GraphIoRejectsGarbage) {
+  EXPECT_THROW(graph_from_string("not a graph"), std::runtime_error);
+  EXPECT_THROW(graph_from_string("3 2\n0 1"), std::runtime_error);
+  EXPECT_THROW(graph_from_string("3 1\n0 5"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace chordal

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "interval/rep.hpp"
+#include "local/ball.hpp"
+#include "local/cole_vishkin.hpp"
+#include "local/luby.hpp"
+#include "local/network.hpp"
+#include "local/ruling_set.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+using local::CvResult;
+using local::Network;
+using local::RoundLedger;
+
+TEST(Network, DeliversOnlyAfterRoundBoundary) {
+  Graph g = path_graph(3);
+  Network net(g);
+  net.send(0, 1, {42});
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.deliver();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].from, 0);
+  EXPECT_EQ(net.inbox(1)[0].data[0], 42);
+  EXPECT_EQ(net.rounds(), 1);
+  net.deliver();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(Network, RejectsNonNeighborSend) {
+  Graph g = path_graph(3);
+  Network net(g);
+  EXPECT_THROW(net.send(0, 2, {1}), std::invalid_argument);
+}
+
+TEST(Network, BroadcastReachesAllNeighbors) {
+  Graph g = star_graph(4);
+  Network net(g);
+  net.broadcast(0, {7});
+  net.deliver();
+  for (int leaf = 1; leaf <= 4; ++leaf) {
+    ASSERT_EQ(net.inbox(leaf).size(), 1u);
+    EXPECT_EQ(net.inbox(leaf)[0].data[0], 7);
+  }
+}
+
+TEST(RoundLedgerTest, ClocksAndSynchronization) {
+  RoundLedger ledger(4);
+  ledger.charge(0, 10);
+  ledger.charge(1, 3);
+  ledger.wait_until(1, 7);
+  EXPECT_EQ(ledger.clock(1), 7);
+  std::vector<int> group = {0, 1};
+  ledger.synchronize(group);
+  EXPECT_EQ(ledger.clock(1), 10);
+  EXPECT_EQ(ledger.max_clock(), 10);
+}
+
+TEST(CollectBall, ChargesRadiusRounds) {
+  Graph g = path_graph(9);
+  RoundLedger ledger(9);
+  auto ball = local::collect_ball(g, 4, 2, nullptr, &ledger);
+  EXPECT_EQ(ledger.clock(4), 2);
+  EXPECT_EQ(ball.vertices.size(), 5u);
+  EXPECT_EQ(ball.vertices[0], 4);
+  EXPECT_EQ(ball.graph.num_edges(), 4u);
+}
+
+TEST(ColeVishkin, PathColoringIsProperAndFast) {
+  for (int n : {1, 2, 3, 10, 100, 5000}) {
+    std::vector<std::int64_t> ids(n);
+    for (int i = 0; i < n; ++i) ids[i] = (i * 2654435761LL) % 1000003 + i * 1000003LL;
+    CvResult cv = local::cole_vishkin_path(ids);
+    ASSERT_EQ(cv.colors.size(), static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      EXPECT_GE(cv.colors[i], 0);
+      EXPECT_LE(cv.colors[i], 2);
+      if (i > 0) {
+        EXPECT_NE(cv.colors[i], cv.colors[i - 1]) << "n=" << n;
+      }
+    }
+    // log* flavor: even 5000 ids of ~60 bits need very few rounds.
+    EXPECT_LE(cv.rounds, 12) << "n=" << n;
+  }
+}
+
+TEST(ColeVishkin, ForestColoringIsProper) {
+  Graph g = random_tree(300, 3);
+  // Root at 0; parents via BFS order.
+  std::vector<int> parent(300, -1);
+  std::vector<int> order;
+  std::vector<char> seen(300, 0);
+  order.push_back(0);
+  seen[0] = 1;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    int v = order[head];
+    for (int w : g.neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        parent[w] = v;
+        order.push_back(w);
+      }
+    }
+  }
+  std::vector<std::int64_t> ids(300);
+  for (int i = 0; i < 300; ++i) ids[i] = i * 977 + 13;
+  CvResult cv = local::cole_vishkin_pseudoforest(ids, parent);
+  for (int v = 0; v < 300; ++v) {
+    if (parent[v] != -1) {
+      EXPECT_NE(cv.colors[v], cv.colors[parent[v]]);
+    }
+  }
+}
+
+TEST(ColeVishkin, RejectsMismatchedInput) {
+  std::vector<std::int64_t> ids = {1, 2};
+  std::vector<int> parent = {-1};
+  EXPECT_THROW(local::cole_vishkin_pseudoforest(ids, parent),
+               std::invalid_argument);
+}
+
+PathIntervals line_rep(int n) {
+  // Unit-ish intervals [i, i+1]: a path-like proper interval graph.
+  PathIntervals rep;
+  rep.num_positions = n + 1;
+  for (int i = 0; i < n; ++i) {
+    rep.vertices.push_back(i);
+    rep.lo.push_back(i);
+    rep.hi.push_back(i + 1);
+  }
+  return rep;
+}
+
+TEST(IntervalDistances, MatchGraphBfsOnRandomModels) {
+  for (std::uint64_t seed : {2u, 4u, 8u}) {
+    auto gen = random_interval({.n = 50, .window = 25.0, .min_len = 1.0,
+                                .max_len = 4.0, .seed = seed});
+    auto rep = interval::from_geometry(gen.left, gen.right);
+    Graph g = interval::to_graph(rep);
+    for (std::size_t s = 0; s < 50; s += 9) {
+      auto by_rep = local::interval_distances_from(rep, s);
+      auto by_bfs = bfs_distances(g, static_cast<int>(s));
+      for (int v = 0; v < 50; ++v) {
+        EXPECT_EQ(by_rep[v], by_bfs[v]) << "seed " << seed << " src " << s;
+      }
+    }
+  }
+}
+
+TEST(RulingSet, DistanceKMisContract) {
+  for (int k : {1, 2, 3, 5, 8}) {
+    PathIntervals rep = line_rep(60);
+    auto result = local::distance_k_mis_interval(rep, k);
+    ASSERT_FALSE(result.anchors.empty());
+    // Independence in G^k and maximality.
+    std::vector<std::vector<int>> dists;
+    for (std::size_t a : result.anchors) {
+      dists.push_back(local::interval_distances_from(rep, a));
+    }
+    for (std::size_t i = 0; i < result.anchors.size(); ++i) {
+      for (std::size_t j = i + 1; j < result.anchors.size(); ++j) {
+        EXPECT_GT(dists[i][result.anchors[j]], k) << "k=" << k;
+      }
+    }
+    for (std::size_t v = 0; v < rep.vertices.size(); ++v) {
+      int best = 1 << 30;
+      for (const auto& d : dists) best = std::min(best, d[v]);
+      EXPECT_LE(best, k) << "k=" << k << " vertex " << v;
+    }
+    EXPECT_GT(result.rounds, 0);
+  }
+}
+
+TEST(RulingSet, WorksOnRandomIntervalModels) {
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    auto gen = random_interval({.n = 120, .window = 200.0, .min_len = 1.0,
+                                .max_len = 6.0, .seed = seed});
+    auto rep = interval::from_geometry(gen.left, gen.right);
+    for (const auto& comp : interval::components(rep)) {
+      auto sub = interval::restrict(rep, comp);
+      auto result = local::distance_k_mis_interval(sub, 3);
+      for (std::size_t v = 0; v < sub.vertices.size(); ++v) {
+        int best = 1 << 30;
+        for (std::size_t a : result.anchors) {
+          auto d = local::interval_distances_from(sub, a);
+          best = std::min(best, d[v]);
+        }
+        EXPECT_LE(best, 3);
+      }
+    }
+  }
+}
+
+TEST(Luby, ComputesMaximalIndependentSet) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    RandomChordalConfig config;
+    config.n = 200;
+    config.max_clique = 5;
+    config.seed = seed;
+    Graph g = random_chordal(config);
+    auto result = local::luby_mis(g, seed * 31 + 1);
+    EXPECT_TRUE(testing::is_independent_set(g, result.independent_set));
+    // Maximality: every vertex is in the set or adjacent to it.
+    std::set<int> in(result.independent_set.begin(),
+                     result.independent_set.end());
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      bool covered = in.count(v) > 0;
+      for (int w : g.neighbors(v)) covered = covered || in.count(w) > 0;
+      EXPECT_TRUE(covered) << "vertex " << v;
+    }
+    EXPECT_GT(result.rounds, 0);
+    // Luby terminates in O(log n) phases with high probability.
+    EXPECT_LE(result.phases, 40);
+  }
+}
+
+}  // namespace
+}  // namespace chordal

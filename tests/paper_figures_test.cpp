@@ -1,0 +1,120 @@
+// Reproduces the paper's remaining worked examples: Figures 5 and 6
+// illustrate Lemma 3 - peeling the internal path P = C6,...,C10 off the
+// Figure 1 graph leaves exactly the clique forest T - P for the induced
+// subgraph. (Figures 1-4 are covered in clique_forest_test.cpp.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cliqueforest/forest.hpp"
+#include "cliqueforest/paths.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+std::vector<int> paper_clique(std::initializer_list<int> nodes) {
+  std::vector<int> c;
+  for (int v : nodes) c.push_back(v - 1);
+  std::sort(c.begin(), c.end());
+  return c;
+}
+
+TEST(PaperFigures, Lemma3PathRemovalFigure5And6) {
+  Graph g = testing::paper_figure1_graph();
+  CliqueForest forest = CliqueForest::build(g);
+
+  // P = C6,...,C10 of Figure 2.
+  std::vector<std::vector<int>> path_cliques = {
+      paper_clique({8, 9, 10}),   paper_clique({9, 10, 11}),
+      paper_clique({11, 12, 13}), paper_clique({12, 13, 14}),
+      paper_clique({14, 15, 16})};
+  std::set<std::vector<int>> in_path(path_cliques.begin(),
+                                     path_cliques.end());
+
+  // U = nodes whose subtree lies inside P: paper nodes 9..14.
+  std::set<int> u_expected;
+  for (int v : {9, 10, 11, 12, 13, 14}) u_expected.insert(v - 1);
+  std::set<int> u_actual;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    bool inside = true;
+    for (int c : forest.cliques_of(v)) {
+      inside = inside && in_path.count(forest.clique(c)) > 0;
+    }
+    if (inside) u_actual.insert(v);
+  }
+  EXPECT_EQ(u_actual, u_expected);
+
+  // Remove U; the remaining graph's clique forest must be exactly the old
+  // forest minus the path cliques (same maximal cliques, Figure 6).
+  std::vector<int> rest;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!u_actual.count(v)) rest.push_back(v);
+  }
+  std::vector<int> original;
+  Graph h = g.induced_subgraph(rest, &original);
+  CliqueForest smaller = CliqueForest::build(h);
+
+  std::set<std::vector<int>> expected_cliques;
+  for (int c = 0; c < forest.num_cliques(); ++c) {
+    if (!in_path.count(forest.clique(c))) {
+      expected_cliques.insert(forest.clique(c));
+    }
+  }
+  std::set<std::vector<int>> actual_cliques;
+  for (int c = 0; c < smaller.num_cliques(); ++c) {
+    std::vector<int> global;
+    for (int lv : smaller.clique(c)) global.push_back(original[lv]);
+    std::sort(global.begin(), global.end());
+    actual_cliques.insert(global);
+  }
+  EXPECT_EQ(actual_cliques, expected_cliques);
+
+  // Edge set of the smaller forest = old forest edges among survivors
+  // (uniqueness of the tie-broken MWSF makes this exact, Lemma 1).
+  std::set<std::pair<std::vector<int>, std::vector<int>>> expected_edges;
+  for (auto [a, b] : forest.forest_edges()) {
+    if (in_path.count(forest.clique(a)) || in_path.count(forest.clique(b))) {
+      continue;
+    }
+    auto key = std::minmax(forest.clique(a), forest.clique(b));
+    expected_edges.insert(key);
+  }
+  std::set<std::pair<std::vector<int>, std::vector<int>>> actual_edges;
+  for (auto [a, b] : smaller.forest_edges()) {
+    std::vector<int> ga, gb;
+    for (int lv : smaller.clique(a)) ga.push_back(original[lv]);
+    for (int lv : smaller.clique(b)) gb.push_back(original[lv]);
+    std::sort(ga.begin(), ga.end());
+    std::sort(gb.begin(), gb.end());
+    actual_edges.insert(std::minmax(ga, gb));
+  }
+  EXPECT_EQ(actual_edges, expected_edges);
+}
+
+TEST(PaperFigures, PathDecompositionFindsC6C10AsInternal) {
+  // In the full forest of Figure 2, C6..C10 lie on a maximal internal path
+  // (C5 and C11 both have degree 3).
+  Graph g = testing::paper_figure1_graph();
+  CliqueForest forest = CliqueForest::build(g);
+  std::vector<char> active(static_cast<std::size_t>(forest.num_cliques()),
+                           1);
+  bool found = false;
+  for (const auto& path : maximal_binary_paths(forest, active)) {
+    if (path.pendant) continue;
+    std::set<std::vector<int>> cliques;
+    for (int c : path.cliques) cliques.insert(forest.clique(c));
+    if (cliques.count(paper_clique({8, 9, 10})) &&
+        cliques.count(paper_clique({14, 15, 16}))) {
+      found = true;
+      EXPECT_EQ(path.cliques.size(), 5u);
+      EXPECT_NE(path.attach_left, -1);
+      EXPECT_NE(path.attach_right, -1);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace chordal

@@ -1,0 +1,99 @@
+// Definition 1 (parents/children) and Corollary 2 (parents live in strictly
+// higher layers).
+#include <gtest/gtest.h>
+
+#include "core/parents.hpp"
+#include "core/peeling.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+struct Fixture {
+  Graph g;
+  CliqueForest forest;
+  core::PeelingResult peeling;
+  core::ParentAssignment parents;
+  int k;
+};
+
+Fixture make(const Graph& g, int k) {
+  Fixture s{g, CliqueForest::build(g), {}, {}, k};
+  core::PeelConfig config;
+  config.mode = core::PeelMode::kColoring;
+  config.k = k;
+  s.peeling = core::peel(s.g, s.forest, config);
+  s.parents = core::compute_parents(s.g, s.forest, s.peeling, k);
+  return s;
+}
+
+TEST(Parents, Corollary2ParentsInHigherLayers) {
+  for (std::uint64_t seed : {1u, 3u, 6u, 9u}) {
+    CliqueTreeConfig config;
+    config.num_bags = 90;
+    config.shape = TreeShape::kRandom;
+    config.seed = seed;
+    auto gen = random_chordal_from_clique_tree(config);
+    Fixture s = make(gen.graph, 2);
+    for (int v = 0; v < s.g.num_vertices(); ++v) {
+      int p = s.parents.parent[v];
+      if (p == -1) continue;
+      EXPECT_GT(s.peeling.layer_of[p], s.peeling.layer_of[v])
+          << "seed " << seed << " v " << v << " parent " << p;
+      EXPECT_NE(p, v);
+    }
+    // children lists are the inverse relation.
+    for (int c = 0; c < s.g.num_vertices(); ++c) {
+      for (int child : s.parents.children[c]) {
+        EXPECT_EQ(s.parents.parent[child], c);
+      }
+    }
+  }
+}
+
+TEST(Parents, WholeComponentPathsHaveNoParent) {
+  // A pure path graph peels in one layer as a component: nobody needs
+  // correction, so every parent is the paper's bottom.
+  Fixture s = make(path_graph(40), 2);
+  for (int v = 0; v < 40; ++v) EXPECT_EQ(s.parents.parent[v], -1);
+}
+
+TEST(Parents, ParentsAreNearby) {
+  // A parent is at distance <= k+4 from its child in G (child within k+3 of
+  // the attachment clique; the parent is inside that clique).
+  for (std::uint64_t seed : {2u, 5u}) {
+    CliqueTreeConfig config;
+    config.num_bags = 70;
+    config.shape = TreeShape::kCaterpillar;
+    config.seed = seed;
+    auto gen = random_chordal_from_clique_tree(config);
+    Fixture s = make(gen.graph, 2);
+    for (int v = 0; v < s.g.num_vertices(); ++v) {
+      int p = s.parents.parent[v];
+      if (p == -1) continue;
+      EXPECT_LE(distance_between(s.g, v, p), s.k + 4)
+          << "seed " << seed << " v " << v;
+    }
+  }
+}
+
+TEST(Parents, PaperExampleHasParentsForLayerOne) {
+  // In the Figure 1 graph the peel has two layers; every layer-1 node close
+  // to its attachment clique gets a parent from layer 2.
+  Fixture s = make(testing::paper_figure1_graph(), 2);
+  ASSERT_EQ(s.peeling.num_layers, 2);
+  int with_parent = 0;
+  for (int v = 0; v < s.g.num_vertices(); ++v) {
+    if (s.parents.parent[v] != -1) {
+      ++with_parent;
+      EXPECT_EQ(s.peeling.layer_of[v], 1);
+      EXPECT_EQ(s.peeling.layer_of[s.parents.parent[v]], 2);
+    }
+  }
+  EXPECT_GT(with_parent, 0);
+}
+
+}  // namespace
+}  // namespace chordal

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/peeling.hpp"
+#include "graph/cliques.hpp"
+#include "graph/generators.hpp"
+#include "graph/peo.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+using core::PeelConfig;
+using core::PeelMode;
+using core::PeelingResult;
+
+PeelingResult run_coloring_peel(const Graph& g, int k,
+                                CliqueForest* out_forest = nullptr) {
+  CliqueForest forest = CliqueForest::build(g);
+  PeelConfig config;
+  config.mode = PeelMode::kColoring;
+  config.k = k;
+  auto result = core::peel(g, forest, config);
+  if (out_forest != nullptr) *out_forest = forest;
+  return result;
+}
+
+TEST(Peeling, PathGraphPeelsInOneLayer) {
+  Graph g = path_graph(50);
+  auto result = run_coloring_peel(g, 2);
+  EXPECT_EQ(result.num_layers, 1);
+  for (int v = 0; v < 50; ++v) EXPECT_EQ(result.layer_of[v], 1);
+}
+
+TEST(Peeling, PaperExampleAssignsAllVertices) {
+  Graph g = testing::paper_figure1_graph();
+  auto result = run_coloring_peel(g, 2);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(result.layer_of[v], 1) << "vertex " << v;
+  }
+}
+
+TEST(Peeling, RespectsLogNLayerBound) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    CliqueTreeConfig config;
+    config.num_bags = 300;
+    config.shape = TreeShape::kRandom;
+    config.seed = seed;
+    auto gen = random_chordal_from_clique_tree(config);
+    auto result = run_coloring_peel(gen.graph, 2);
+    double bound = std::ceil(std::log2(gen.graph.num_vertices())) + 1;
+    EXPECT_LE(result.num_layers, bound) << "seed " << seed;
+    for (int v = 0; v < gen.graph.num_vertices(); ++v) {
+      EXPECT_GE(result.layer_of[v], 1);
+    }
+  }
+}
+
+TEST(Peeling, Lemma6HighDegreeCountsHalve) {
+  // The Pruning Lemma: after each iteration the number of degree->=3 forest
+  // vertices at least halves.
+  for (std::uint64_t seed : {3u, 6u, 9u}) {
+    CliqueTreeConfig config;
+    config.num_bags = 400;
+    config.shape = TreeShape::kBinary;  // many branch vertices
+    config.seed = seed;
+    auto gen = random_chordal_from_clique_tree(config);
+    auto result = run_coloring_peel(gen.graph, 2);
+    const auto& counts = result.high_degree_counts;
+    for (std::size_t i = 1; i < counts.size(); ++i) {
+      EXPECT_LE(counts[i], counts[i - 1] / 2)
+          << "seed " << seed << " iteration " << i;
+    }
+  }
+}
+
+TEST(Peeling, LayersInduceIntervalGraphs) {
+  // Each layer is a disjoint union of path-owned sets, each of which must
+  // induce an interval graph in G; we check the weaker-but-sufficient
+  // property used everywhere: the induced subgraph is chordal and its
+  // interval model matches adjacency (done in paths_test) - here we verify
+  // chordality of whole layers.
+  for (std::uint64_t seed : {2u, 5u}) {
+    CliqueTreeConfig config;
+    config.num_bags = 120;
+    config.shape = TreeShape::kCaterpillar;
+    config.seed = seed;
+    auto gen = random_chordal_from_clique_tree(config);
+    auto result = run_coloring_peel(gen.graph, 2);
+    for (int layer = 1; layer <= result.num_layers; ++layer) {
+      std::vector<int> members;
+      for (int v = 0; v < gen.graph.num_vertices(); ++v) {
+        if (result.layer_of[v] == layer) members.push_back(v);
+      }
+      if (members.empty()) continue;
+      Graph induced = gen.graph.induced_subgraph(members);
+      EXPECT_TRUE(is_chordal(induced)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Peeling, Lemma11NeighborsOfOwnedSetsLandInHigherLayers) {
+  for (std::uint64_t seed : {1u, 4u, 8u}) {
+    CliqueTreeConfig config;
+    config.num_bags = 150;
+    config.shape = TreeShape::kRandom;
+    config.seed = seed;
+    auto gen = random_chordal_from_clique_tree(config);
+    auto result = run_coloring_peel(gen.graph, 2);
+    // Lemma 11 concerns neighborhoods inside G_i = G[U_i]: a neighbor that
+    // is still unpeeled when layer i is removed (layer >= i) and outside the
+    // path's owned set must land in a strictly HIGHER layer. (Neighbors in
+    // lower layers are fine - they were the W' of those layers.)
+    for (std::size_t i = 0; i < result.layers.size(); ++i) {
+      int this_layer = static_cast<int>(i) + 1;
+      for (const auto& lp : result.layers[i]) {
+        for (int v : lp.owned) {
+          for (int w : gen.graph.neighbors(v)) {
+            bool in_same_path = std::binary_search(lp.owned.begin(),
+                                                   lp.owned.end(), w);
+            if (!in_same_path && result.layer_of[w] >= this_layer) {
+              EXPECT_GT(result.layer_of[w], this_layer)
+                  << "seed " << seed << " v=" << v << " w=" << w;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Peeling, MisModeStopsAfterRequestedIterations) {
+  CliqueTreeConfig config;
+  config.num_bags = 200;
+  config.shape = TreeShape::kBinary;
+  config.seed = 7;
+  auto gen = random_chordal_from_clique_tree(config);
+  CliqueForest forest = CliqueForest::build(gen.graph);
+  PeelConfig pc;
+  pc.mode = PeelMode::kIndependentSet;
+  pc.d = 3;
+  pc.max_iterations = 2;
+  auto result = core::peel(gen.graph, forest, pc);
+  EXPECT_LE(result.num_layers, 2);
+}
+
+TEST(Peeling, RejectsBadConfigs) {
+  Graph g = path_graph(4);
+  CliqueForest forest = CliqueForest::build(g);
+  PeelConfig bad1;
+  bad1.mode = PeelMode::kColoring;
+  bad1.k = 1;
+  EXPECT_THROW(core::peel(g, forest, bad1), std::invalid_argument);
+  PeelConfig bad2;
+  bad2.mode = PeelMode::kIndependentSet;
+  bad2.d = 0;
+  bad2.max_iterations = 3;
+  EXPECT_THROW(core::peel(g, forest, bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chordal

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/checks.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/peo.hpp"
+#include "graph/power.hpp"
+#include "interval/rep.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+TEST(GraphPower, PathSquared) {
+  Graph g = graph_power(path_graph(6), 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.num_edges(), 5u + 4u);
+}
+
+TEST(GraphPower, PowerOneIsIdentity) {
+  Graph g = testing::paper_figure1_graph();
+  Graph p1 = graph_power(g, 1);
+  EXPECT_EQ(p1.edges(), g.edges());
+  EXPECT_THROW(graph_power(g, 0), std::invalid_argument);
+}
+
+TEST(GraphPower, MatchesPairwiseDistances) {
+  for (std::uint64_t seed : {1u, 4u}) {
+    Graph g = random_tree(40, seed);
+    for (int k : {2, 3}) {
+      Graph p = graph_power(g, k);
+      for (int v = 0; v < 40; ++v) {
+        auto dist = bfs_distances(g, v);
+        for (int u = 0; u < 40; ++u) {
+          if (u == v) continue;
+          EXPECT_EQ(p.has_edge(v, u), dist[u] <= k)
+              << "seed " << seed << " k " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphPower, PowersOfIntervalGraphsStayChordal) {
+  // Raychaudhuri: powers of interval graphs are interval (hence chordal).
+  for (std::uint64_t seed : {3u, 7u}) {
+    auto gen = staircase_interval(80, 0.62, 0.05, seed);
+    for (int k : {2, 3, 5}) {
+      EXPECT_TRUE(is_chordal(graph_power(gen.graph, k)))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(Checks, ProperColoringValidation) {
+  Graph g = path_graph(4);
+  std::vector<int> good = {0, 1, 0, 1};
+  std::vector<int> clash = {0, 1, 1, 0};
+  std::vector<int> hole = {0, -1, 0, 1};
+  EXPECT_TRUE(core::is_proper_coloring(g, good));
+  EXPECT_FALSE(core::is_proper_coloring(g, clash));
+  EXPECT_FALSE(core::is_proper_coloring(g, hole));
+  EXPECT_NO_THROW(core::require_proper_coloring(g, good));
+  EXPECT_THROW(core::require_proper_coloring(g, clash), std::logic_error);
+  EXPECT_THROW(core::require_proper_coloring(g, hole), std::logic_error);
+  std::vector<int> short_vec = {0, 1};
+  EXPECT_THROW(core::require_proper_coloring(g, short_vec), std::logic_error);
+}
+
+TEST(Checks, IndependentSetValidation) {
+  Graph g = path_graph(5);
+  std::vector<int> good = {0, 2, 4};
+  std::vector<int> adjacent = {0, 1};
+  std::vector<int> duplicate = {0, 0};
+  std::vector<int> oob = {0, 9};
+  EXPECT_TRUE(core::is_independent_set(g, good));
+  EXPECT_FALSE(core::is_independent_set(g, adjacent));
+  EXPECT_FALSE(core::is_independent_set(g, duplicate));
+  EXPECT_FALSE(core::is_independent_set(g, oob));
+  EXPECT_NO_THROW(core::require_independent_set(g, good));
+  EXPECT_THROW(core::require_independent_set(g, adjacent), std::logic_error);
+  EXPECT_THROW(core::require_independent_set(g, duplicate), std::logic_error);
+  EXPECT_THROW(core::require_independent_set(g, oob), std::logic_error);
+}
+
+TEST(Checks, CountColorsIgnoresNegatives) {
+  std::vector<int> colors = {0, 3, 3, -1, 7};
+  EXPECT_EQ(core::count_colors(colors), 3);
+  EXPECT_EQ(core::count_colors(std::vector<int>{}), 0);
+}
+
+}  // namespace
+}  // namespace chordal

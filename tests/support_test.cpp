@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/union_find.hpp"
+
+namespace chordal {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+    auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(9);
+  auto p = rng.permutation(50);
+  std::vector<char> seen(50, 0);
+  for (int v : p) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+}
+
+TEST(Stats, AccumulatorMoments) {
+  StatAccumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(UnionFindTest, MergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.num_sets(), 2);
+  EXPECT_TRUE(uf.same(1, 2));
+  EXPECT_FALSE(uf.same(1, 4));
+}
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  "), std::string::npos);
+  EXPECT_NE(s.find("| longer"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chordal
