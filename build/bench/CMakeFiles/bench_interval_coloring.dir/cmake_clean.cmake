@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interval_coloring.dir/bench_interval_coloring.cpp.o"
+  "CMakeFiles/bench_interval_coloring.dir/bench_interval_coloring.cpp.o.d"
+  "bench_interval_coloring"
+  "bench_interval_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interval_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interval_mis.dir/bench_interval_mis.cpp.o"
+  "CMakeFiles/bench_interval_mis.dir/bench_interval_mis.cpp.o.d"
+  "bench_interval_mis"
+  "bench_interval_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interval_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

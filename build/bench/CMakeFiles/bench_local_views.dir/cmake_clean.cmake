@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_views.dir/bench_local_views.cpp.o"
+  "CMakeFiles/bench_local_views.dir/bench_local_views.cpp.o.d"
+  "bench_local_views"
+  "bench_local_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mis_chordal.dir/bench_mis_chordal.cpp.o"
+  "CMakeFiles/bench_mis_chordal.dir/bench_mis_chordal.cpp.o.d"
+  "bench_mis_chordal"
+  "bench_mis_chordal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mis_chordal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

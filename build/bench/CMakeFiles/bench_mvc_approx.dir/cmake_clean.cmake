@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mvc_approx.dir/bench_mvc_approx.cpp.o"
+  "CMakeFiles/bench_mvc_approx.dir/bench_mvc_approx.cpp.o.d"
+  "bench_mvc_approx"
+  "bench_mvc_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mvc_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

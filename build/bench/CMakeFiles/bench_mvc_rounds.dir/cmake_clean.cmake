@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mvc_rounds.dir/bench_mvc_rounds.cpp.o"
+  "CMakeFiles/bench_mvc_rounds.dir/bench_mvc_rounds.cpp.o.d"
+  "bench_mvc_rounds"
+  "bench_mvc_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mvc_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

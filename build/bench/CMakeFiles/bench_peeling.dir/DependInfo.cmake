@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_peeling.cpp" "bench/CMakeFiles/bench_peeling.dir/bench_peeling.cpp.o" "gcc" "bench/CMakeFiles/bench_peeling.dir/bench_peeling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chordal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_cliqueforest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peeling.dir/bench_peeling.cpp.o"
+  "CMakeFiles/bench_peeling.dir/bench_peeling.cpp.o.d"
+  "bench_peeling"
+  "bench_peeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

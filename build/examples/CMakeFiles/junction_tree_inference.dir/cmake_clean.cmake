@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/junction_tree_inference.dir/junction_tree_inference.cpp.o"
+  "CMakeFiles/junction_tree_inference.dir/junction_tree_inference.cpp.o.d"
+  "junction_tree_inference"
+  "junction_tree_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/junction_tree_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

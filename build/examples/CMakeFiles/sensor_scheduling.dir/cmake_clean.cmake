@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_scheduling.dir/sensor_scheduling.cpp.o"
+  "CMakeFiles/sensor_scheduling.dir/sensor_scheduling.cpp.o.d"
+  "sensor_scheduling"
+  "sensor_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_decomposition_explorer.dir/tree_decomposition_explorer.cpp.o"
+  "CMakeFiles/tree_decomposition_explorer.dir/tree_decomposition_explorer.cpp.o.d"
+  "tree_decomposition_explorer"
+  "tree_decomposition_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_decomposition_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

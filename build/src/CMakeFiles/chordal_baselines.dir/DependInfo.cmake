@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dplus1.cpp" "src/CMakeFiles/chordal_baselines.dir/baselines/dplus1.cpp.o" "gcc" "src/CMakeFiles/chordal_baselines.dir/baselines/dplus1.cpp.o.d"
+  "/root/repo/src/baselines/exact_mis.cpp" "src/CMakeFiles/chordal_baselines.dir/baselines/exact_mis.cpp.o" "gcc" "src/CMakeFiles/chordal_baselines.dir/baselines/exact_mis.cpp.o.d"
+  "/root/repo/src/baselines/peo_color.cpp" "src/CMakeFiles/chordal_baselines.dir/baselines/peo_color.cpp.o" "gcc" "src/CMakeFiles/chordal_baselines.dir/baselines/peo_color.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chordal_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_cliqueforest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

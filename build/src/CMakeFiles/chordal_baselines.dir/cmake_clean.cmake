@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordal_baselines.dir/baselines/dplus1.cpp.o"
+  "CMakeFiles/chordal_baselines.dir/baselines/dplus1.cpp.o.d"
+  "CMakeFiles/chordal_baselines.dir/baselines/exact_mis.cpp.o"
+  "CMakeFiles/chordal_baselines.dir/baselines/exact_mis.cpp.o.d"
+  "CMakeFiles/chordal_baselines.dir/baselines/peo_color.cpp.o"
+  "CMakeFiles/chordal_baselines.dir/baselines/peo_color.cpp.o.d"
+  "libchordal_baselines.a"
+  "libchordal_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordal_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cliqueforest/forest.cpp" "src/CMakeFiles/chordal_cliqueforest.dir/cliqueforest/forest.cpp.o" "gcc" "src/CMakeFiles/chordal_cliqueforest.dir/cliqueforest/forest.cpp.o.d"
+  "/root/repo/src/cliqueforest/local_view.cpp" "src/CMakeFiles/chordal_cliqueforest.dir/cliqueforest/local_view.cpp.o" "gcc" "src/CMakeFiles/chordal_cliqueforest.dir/cliqueforest/local_view.cpp.o.d"
+  "/root/repo/src/cliqueforest/paths.cpp" "src/CMakeFiles/chordal_cliqueforest.dir/cliqueforest/paths.cpp.o" "gcc" "src/CMakeFiles/chordal_cliqueforest.dir/cliqueforest/paths.cpp.o.d"
+  "/root/repo/src/cliqueforest/wcig.cpp" "src/CMakeFiles/chordal_cliqueforest.dir/cliqueforest/wcig.cpp.o" "gcc" "src/CMakeFiles/chordal_cliqueforest.dir/cliqueforest/wcig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chordal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordal_cliqueforest.dir/cliqueforest/forest.cpp.o"
+  "CMakeFiles/chordal_cliqueforest.dir/cliqueforest/forest.cpp.o.d"
+  "CMakeFiles/chordal_cliqueforest.dir/cliqueforest/local_view.cpp.o"
+  "CMakeFiles/chordal_cliqueforest.dir/cliqueforest/local_view.cpp.o.d"
+  "CMakeFiles/chordal_cliqueforest.dir/cliqueforest/paths.cpp.o"
+  "CMakeFiles/chordal_cliqueforest.dir/cliqueforest/paths.cpp.o.d"
+  "CMakeFiles/chordal_cliqueforest.dir/cliqueforest/wcig.cpp.o"
+  "CMakeFiles/chordal_cliqueforest.dir/cliqueforest/wcig.cpp.o.d"
+  "libchordal_cliqueforest.a"
+  "libchordal_cliqueforest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordal_cliqueforest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

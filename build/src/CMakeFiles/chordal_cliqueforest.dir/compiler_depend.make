@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chordal_cliqueforest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checks.cpp" "src/CMakeFiles/chordal_core.dir/core/checks.cpp.o" "gcc" "src/CMakeFiles/chordal_core.dir/core/checks.cpp.o.d"
+  "/root/repo/src/core/local_decision.cpp" "src/CMakeFiles/chordal_core.dir/core/local_decision.cpp.o" "gcc" "src/CMakeFiles/chordal_core.dir/core/local_decision.cpp.o.d"
+  "/root/repo/src/core/mis_chordal.cpp" "src/CMakeFiles/chordal_core.dir/core/mis_chordal.cpp.o" "gcc" "src/CMakeFiles/chordal_core.dir/core/mis_chordal.cpp.o.d"
+  "/root/repo/src/core/mvc_centralized.cpp" "src/CMakeFiles/chordal_core.dir/core/mvc_centralized.cpp.o" "gcc" "src/CMakeFiles/chordal_core.dir/core/mvc_centralized.cpp.o.d"
+  "/root/repo/src/core/mvc_distributed.cpp" "src/CMakeFiles/chordal_core.dir/core/mvc_distributed.cpp.o" "gcc" "src/CMakeFiles/chordal_core.dir/core/mvc_distributed.cpp.o.d"
+  "/root/repo/src/core/parents.cpp" "src/CMakeFiles/chordal_core.dir/core/parents.cpp.o" "gcc" "src/CMakeFiles/chordal_core.dir/core/parents.cpp.o.d"
+  "/root/repo/src/core/peeling.cpp" "src/CMakeFiles/chordal_core.dir/core/peeling.cpp.o" "gcc" "src/CMakeFiles/chordal_core.dir/core/peeling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chordal_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_cliqueforest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordal_core.dir/core/checks.cpp.o"
+  "CMakeFiles/chordal_core.dir/core/checks.cpp.o.d"
+  "CMakeFiles/chordal_core.dir/core/local_decision.cpp.o"
+  "CMakeFiles/chordal_core.dir/core/local_decision.cpp.o.d"
+  "CMakeFiles/chordal_core.dir/core/mis_chordal.cpp.o"
+  "CMakeFiles/chordal_core.dir/core/mis_chordal.cpp.o.d"
+  "CMakeFiles/chordal_core.dir/core/mvc_centralized.cpp.o"
+  "CMakeFiles/chordal_core.dir/core/mvc_centralized.cpp.o.d"
+  "CMakeFiles/chordal_core.dir/core/mvc_distributed.cpp.o"
+  "CMakeFiles/chordal_core.dir/core/mvc_distributed.cpp.o.d"
+  "CMakeFiles/chordal_core.dir/core/parents.cpp.o"
+  "CMakeFiles/chordal_core.dir/core/parents.cpp.o.d"
+  "CMakeFiles/chordal_core.dir/core/peeling.cpp.o"
+  "CMakeFiles/chordal_core.dir/core/peeling.cpp.o.d"
+  "libchordal_core.a"
+  "libchordal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/chordal_graph.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/cliques.cpp" "src/CMakeFiles/chordal_graph.dir/graph/cliques.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/cliques.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/chordal_graph.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/diameter.cpp" "src/CMakeFiles/chordal_graph.dir/graph/diameter.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/diameter.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/chordal_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/chordal_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/graphio.cpp" "src/CMakeFiles/chordal_graph.dir/graph/graphio.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/graphio.cpp.o.d"
+  "/root/repo/src/graph/lexbfs.cpp" "src/CMakeFiles/chordal_graph.dir/graph/lexbfs.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/lexbfs.cpp.o.d"
+  "/root/repo/src/graph/peo.cpp" "src/CMakeFiles/chordal_graph.dir/graph/peo.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/peo.cpp.o.d"
+  "/root/repo/src/graph/power.cpp" "src/CMakeFiles/chordal_graph.dir/graph/power.cpp.o" "gcc" "src/CMakeFiles/chordal_graph.dir/graph/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chordal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordal_graph.dir/graph/bfs.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/bfs.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/cliques.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/cliques.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/components.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/components.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/diameter.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/diameter.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/graphio.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/graphio.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/lexbfs.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/lexbfs.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/peo.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/peo.cpp.o.d"
+  "CMakeFiles/chordal_graph.dir/graph/power.cpp.o"
+  "CMakeFiles/chordal_graph.dir/graph/power.cpp.o.d"
+  "libchordal_graph.a"
+  "libchordal_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordal_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/absorbing_mis.cpp" "src/CMakeFiles/chordal_interval.dir/interval/absorbing_mis.cpp.o" "gcc" "src/CMakeFiles/chordal_interval.dir/interval/absorbing_mis.cpp.o.d"
+  "/root/repo/src/interval/col_int_graph.cpp" "src/CMakeFiles/chordal_interval.dir/interval/col_int_graph.cpp.o" "gcc" "src/CMakeFiles/chordal_interval.dir/interval/col_int_graph.cpp.o.d"
+  "/root/repo/src/interval/mis_interval.cpp" "src/CMakeFiles/chordal_interval.dir/interval/mis_interval.cpp.o" "gcc" "src/CMakeFiles/chordal_interval.dir/interval/mis_interval.cpp.o.d"
+  "/root/repo/src/interval/offline.cpp" "src/CMakeFiles/chordal_interval.dir/interval/offline.cpp.o" "gcc" "src/CMakeFiles/chordal_interval.dir/interval/offline.cpp.o.d"
+  "/root/repo/src/interval/proper.cpp" "src/CMakeFiles/chordal_interval.dir/interval/proper.cpp.o" "gcc" "src/CMakeFiles/chordal_interval.dir/interval/proper.cpp.o.d"
+  "/root/repo/src/interval/rep.cpp" "src/CMakeFiles/chordal_interval.dir/interval/rep.cpp.o" "gcc" "src/CMakeFiles/chordal_interval.dir/interval/rep.cpp.o.d"
+  "/root/repo/src/interval/window_recolor.cpp" "src/CMakeFiles/chordal_interval.dir/interval/window_recolor.cpp.o" "gcc" "src/CMakeFiles/chordal_interval.dir/interval/window_recolor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chordal_cliqueforest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

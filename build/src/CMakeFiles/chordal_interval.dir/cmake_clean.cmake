@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordal_interval.dir/interval/absorbing_mis.cpp.o"
+  "CMakeFiles/chordal_interval.dir/interval/absorbing_mis.cpp.o.d"
+  "CMakeFiles/chordal_interval.dir/interval/col_int_graph.cpp.o"
+  "CMakeFiles/chordal_interval.dir/interval/col_int_graph.cpp.o.d"
+  "CMakeFiles/chordal_interval.dir/interval/mis_interval.cpp.o"
+  "CMakeFiles/chordal_interval.dir/interval/mis_interval.cpp.o.d"
+  "CMakeFiles/chordal_interval.dir/interval/offline.cpp.o"
+  "CMakeFiles/chordal_interval.dir/interval/offline.cpp.o.d"
+  "CMakeFiles/chordal_interval.dir/interval/proper.cpp.o"
+  "CMakeFiles/chordal_interval.dir/interval/proper.cpp.o.d"
+  "CMakeFiles/chordal_interval.dir/interval/rep.cpp.o"
+  "CMakeFiles/chordal_interval.dir/interval/rep.cpp.o.d"
+  "CMakeFiles/chordal_interval.dir/interval/window_recolor.cpp.o"
+  "CMakeFiles/chordal_interval.dir/interval/window_recolor.cpp.o.d"
+  "libchordal_interval.a"
+  "libchordal_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordal_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

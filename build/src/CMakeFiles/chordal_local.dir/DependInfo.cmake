@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/local/ball.cpp" "src/CMakeFiles/chordal_local.dir/local/ball.cpp.o" "gcc" "src/CMakeFiles/chordal_local.dir/local/ball.cpp.o.d"
+  "/root/repo/src/local/cole_vishkin.cpp" "src/CMakeFiles/chordal_local.dir/local/cole_vishkin.cpp.o" "gcc" "src/CMakeFiles/chordal_local.dir/local/cole_vishkin.cpp.o.d"
+  "/root/repo/src/local/luby.cpp" "src/CMakeFiles/chordal_local.dir/local/luby.cpp.o" "gcc" "src/CMakeFiles/chordal_local.dir/local/luby.cpp.o.d"
+  "/root/repo/src/local/network.cpp" "src/CMakeFiles/chordal_local.dir/local/network.cpp.o" "gcc" "src/CMakeFiles/chordal_local.dir/local/network.cpp.o.d"
+  "/root/repo/src/local/ruling_set.cpp" "src/CMakeFiles/chordal_local.dir/local/ruling_set.cpp.o" "gcc" "src/CMakeFiles/chordal_local.dir/local/ruling_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chordal_cliqueforest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordal_local.dir/local/ball.cpp.o"
+  "CMakeFiles/chordal_local.dir/local/ball.cpp.o.d"
+  "CMakeFiles/chordal_local.dir/local/cole_vishkin.cpp.o"
+  "CMakeFiles/chordal_local.dir/local/cole_vishkin.cpp.o.d"
+  "CMakeFiles/chordal_local.dir/local/luby.cpp.o"
+  "CMakeFiles/chordal_local.dir/local/luby.cpp.o.d"
+  "CMakeFiles/chordal_local.dir/local/network.cpp.o"
+  "CMakeFiles/chordal_local.dir/local/network.cpp.o.d"
+  "CMakeFiles/chordal_local.dir/local/ruling_set.cpp.o"
+  "CMakeFiles/chordal_local.dir/local/ruling_set.cpp.o.d"
+  "libchordal_local.a"
+  "libchordal_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordal_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

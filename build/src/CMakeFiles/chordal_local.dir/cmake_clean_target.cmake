@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchordal_local.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordal_lowerbound.dir/lowerbound/path_mis.cpp.o"
+  "CMakeFiles/chordal_lowerbound.dir/lowerbound/path_mis.cpp.o.d"
+  "libchordal_lowerbound.a"
+  "libchordal_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordal_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chordal_support.dir/support/rng.cpp.o"
+  "CMakeFiles/chordal_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/chordal_support.dir/support/stats.cpp.o"
+  "CMakeFiles/chordal_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/chordal_support.dir/support/table.cpp.o"
+  "CMakeFiles/chordal_support.dir/support/table.cpp.o.d"
+  "CMakeFiles/chordal_support.dir/support/union_find.cpp.o"
+  "CMakeFiles/chordal_support.dir/support/union_find.cpp.o.d"
+  "libchordal_support.a"
+  "libchordal_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chordal_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/chordal_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/chordal_recognition_test.cpp" "tests/CMakeFiles/chordal_tests.dir/chordal_recognition_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/chordal_recognition_test.cpp.o.d"
+  "/root/repo/tests/clique_forest_test.cpp" "tests/CMakeFiles/chordal_tests.dir/clique_forest_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/clique_forest_test.cpp.o.d"
+  "/root/repo/tests/clique_path_test.cpp" "tests/CMakeFiles/chordal_tests.dir/clique_path_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/clique_path_test.cpp.o.d"
+  "/root/repo/tests/cliques_test.cpp" "tests/CMakeFiles/chordal_tests.dir/cliques_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/cliques_test.cpp.o.d"
+  "/root/repo/tests/distributed_fidelity_test.cpp" "tests/CMakeFiles/chordal_tests.dir/distributed_fidelity_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/distributed_fidelity_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/chordal_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/chordal_tests.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/graph_test.cpp.o.d"
+  "/root/repo/tests/integration_fuzz_test.cpp" "tests/CMakeFiles/chordal_tests.dir/integration_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/integration_fuzz_test.cpp.o.d"
+  "/root/repo/tests/interval_test.cpp" "tests/CMakeFiles/chordal_tests.dir/interval_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/interval_test.cpp.o.d"
+  "/root/repo/tests/local_model_test.cpp" "tests/CMakeFiles/chordal_tests.dir/local_model_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/local_model_test.cpp.o.d"
+  "/root/repo/tests/mis_fidelity_test.cpp" "tests/CMakeFiles/chordal_tests.dir/mis_fidelity_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/mis_fidelity_test.cpp.o.d"
+  "/root/repo/tests/mis_peeling_structure_test.cpp" "tests/CMakeFiles/chordal_tests.dir/mis_peeling_structure_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/mis_peeling_structure_test.cpp.o.d"
+  "/root/repo/tests/mis_test.cpp" "tests/CMakeFiles/chordal_tests.dir/mis_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/mis_test.cpp.o.d"
+  "/root/repo/tests/mvc_test.cpp" "tests/CMakeFiles/chordal_tests.dir/mvc_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/mvc_test.cpp.o.d"
+  "/root/repo/tests/paper_figures_test.cpp" "tests/CMakeFiles/chordal_tests.dir/paper_figures_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/paper_figures_test.cpp.o.d"
+  "/root/repo/tests/parents_test.cpp" "tests/CMakeFiles/chordal_tests.dir/parents_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/parents_test.cpp.o.d"
+  "/root/repo/tests/paths_test.cpp" "tests/CMakeFiles/chordal_tests.dir/paths_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/paths_test.cpp.o.d"
+  "/root/repo/tests/peeling_test.cpp" "tests/CMakeFiles/chordal_tests.dir/peeling_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/peeling_test.cpp.o.d"
+  "/root/repo/tests/power_and_checks_test.cpp" "tests/CMakeFiles/chordal_tests.dir/power_and_checks_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/power_and_checks_test.cpp.o.d"
+  "/root/repo/tests/pruning_modes_test.cpp" "tests/CMakeFiles/chordal_tests.dir/pruning_modes_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/pruning_modes_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/chordal_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/window_stress_test.cpp" "tests/CMakeFiles/chordal_tests.dir/window_stress_test.cpp.o" "gcc" "tests/CMakeFiles/chordal_tests.dir/window_stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/chordal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_cliqueforest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/chordal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
