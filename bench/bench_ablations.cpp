@@ -11,10 +11,12 @@
 #include "local/ball.hpp"
 #include "support/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("Ablations: layer coloring mode, workload shape, correction",
-                "design-choice sensitivity (no direct paper claim)");
+  bench::Context ctx(argc, argv,
+                     "Ablations: layer coloring mode, workload shape, "
+                     "correction",
+                     "design-choice sensitivity (no direct paper claim)");
 
   std::printf("(a) layer coloring mode at eps = 0.5:\n\n");
   Table mode_table({"n", "chi", "colors ColIntGraph", "colors optimal-layers",
@@ -35,6 +37,7 @@ int main() {
                         Table::fmt(opt.rounds)});
   }
   mode_table.print();
+  ctx.add_table("layer_coloring_mode", mode_table);
 
   std::printf("\n(b) chain bias of the incremental generator (n = 4000, "
               "eps = 0.5):\n\n");
@@ -53,6 +56,7 @@ int main() {
                         Table::fmt(result.omega)});
   }
   bias_table.print();
+  ctx.add_table("chain_bias", bias_table);
 
   std::printf("\n(c) correction pressure vs eps (caterpillar, n ~ 4000):\n\n");
   Table corr_table({"eps", "k", "recolored vertices", "correction rounds",
@@ -66,6 +70,7 @@ int main() {
                         Table::fmt(result.num_colors)});
   }
   corr_table.print();
+  ctx.add_table("correction_pressure", corr_table);
 
   std::printf("\n(d) LOCAL's hidden cost: the Gamma^{10k} balls the pruning "
               "phase collects (eps = 0.5 => radius 40):\n\n");
@@ -87,6 +92,7 @@ int main() {
     }
   }
   ball_table.print();
+  ctx.add_table("ball_volumes", ball_table);
   std::printf("\nLOCAL charges d rounds for a distance-d ball regardless of "
               "volume; the table shows what a bandwidth-limited (CONGEST) "
               "implementation would actually have to ship.\n");

@@ -7,15 +7,16 @@
 #include "core/mvc.hpp"
 #include "local/luby.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("E9: baselines comparison",
-                "the (1+eps) algorithms beat (Delta+1)/maximal baselines on "
-                "quality while staying polylog-local");
+  bench::Context ctx(argc, argv, "E9: baselines comparison",
+                     "the (1+eps) algorithms beat (Delta+1)/maximal "
+                     "baselines on quality while staying polylog-local");
 
   Table coloring({"n", "Delta", "chi", "ours eps=.5", "ours eps=.25",
                   "(Delta+1) greedy", "greedy rounds", "our rounds(.25)"});
   for (int n : {1024, 4096, 16384}) {
+    obs::Span run("coloring n=" + std::to_string(n));
     auto gen = bench::chordal_workload(n, TreeShape::kRandom, 23);
     const Graph& g = gen.graph;
     auto ours_05 = core::mvc_chordal(g, {.eps = 0.5});
@@ -29,10 +30,12 @@ int main() {
   }
   std::printf("Coloring (colors used; lower is better):\n\n");
   coloring.print();
+  ctx.add_table("coloring", coloring);
 
   Table mis({"n", "alpha", "ours eps=.2", "Luby (maximal)", "Luby rounds",
              "our rounds"});
   for (int n : {1024, 4096, 16384}) {
+    obs::Span run("mis n=" + std::to_string(n));
     auto gen = bench::chordal_workload(n, TreeShape::kRandom, 29);
     const Graph& g = gen.graph;
     auto ours = core::mis_chordal(g, {.eps = 0.2});
@@ -45,5 +48,6 @@ int main() {
   }
   std::printf("\nIndependent sets (size; higher is better):\n\n");
   mis.print();
+  ctx.add_table("mis", mis);
   return 0;
 }

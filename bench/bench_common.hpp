@@ -1,11 +1,32 @@
 // Shared helpers for the experiment harnesses (E1-E9). Every binary prints
 // a header naming the paper claim it regenerates and a table of
 // paper-expected vs. measured values; EXPERIMENTS.md records the outputs.
+//
+// All harnesses additionally accept
+//
+//   --json <path>
+//
+// which installs an obs::Registry for the whole run and, on exit, dumps a
+// machine-readable report: the experiment name/claim, every registered
+// table, and the telemetry tree (counters, per-node congestion histograms,
+// and the phase-scoped trace spans with {rounds, messages, payload_words,
+// wall_ms} per phase). This is what the BENCH_*.json perf trajectory is
+// built from.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/table.hpp"
 
 namespace chordal::bench {
@@ -16,6 +37,97 @@ inline void header(const char* experiment, const char* claim) {
   std::printf("Paper claim: %s\n", claim);
   std::printf("==============================================================\n\n");
 }
+
+/// Per-binary harness state: arg parsing, the banner, table registration,
+/// and (with --json) telemetry collection plus the end-of-run JSON dump.
+class Context {
+ public:
+  Context(int argc, char** argv, const char* experiment, const char* claim)
+      : experiment_(experiment), claim_(claim) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg == "--json") {
+        std::fprintf(stderr, "--json requires a value\nusage: %s [--json <path>]\n",
+                     argv[0]);
+        std::exit(2);
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path_ = arg.substr(7);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("usage: %s [--json <path>]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\nusage: %s [--json <path>]\n",
+                     arg.c_str(), argv[0]);
+        std::exit(2);
+      }
+    }
+    if (!json_path_.empty()) scope_.emplace(registry_);
+    header(experiment, claim);
+  }
+
+  ~Context() {
+    if (json_path_.empty()) return;
+    scope_.reset();  // stop collecting before serialization
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("experiment").value(experiment_);
+    w.key("claim").value(claim_);
+    w.key("tables");
+    w.begin_array();
+    for (const auto& [name, table] : tables_) {
+      w.begin_object();
+      w.key("name").value(name);
+      w.key("headers");
+      w.begin_array();
+      for (const auto& h : table.headers()) w.value(h);
+      w.end_array();
+      w.key("rows");
+      w.begin_array();
+      for (const auto& row : table.rows()) {
+        w.begin_array();
+        for (const auto& cell : row) w.value(cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("telemetry");
+    registry_.write_json(w);
+    w.end_object();
+    std::ofstream out(json_path_);
+    out << w.str() << "\n";
+    out.flush();
+    if (!out) {
+      // A destructor cannot change main()'s exit status, so fail as loudly
+      // as a library may: diagnose and abort the process with a nonzero code.
+      std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
+      std::exit(1);
+    }
+    std::printf("\n[json report written to %s]\n", json_path_.c_str());
+  }
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  bool json_enabled() const { return !json_path_.empty(); }
+  obs::Registry& registry() { return registry_; }
+
+  /// Records a (printed) table for the JSON report; copies the cells.
+  void add_table(const char* name, const Table& table) {
+    if (json_enabled()) tables_.emplace_back(name, table);
+  }
+
+ private:
+  std::string experiment_;
+  std::string claim_;
+  std::string json_path_;
+  std::vector<std::pair<std::string, Table>> tables_;
+  obs::Registry registry_;
+  std::optional<obs::ScopedRegistry> scope_;
+};
 
 /// Standard chordal workload used across experiments: prescribed clique
 /// tree with the given shape scaled to ~n vertices (bags average ~4 fresh

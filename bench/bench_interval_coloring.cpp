@@ -5,16 +5,20 @@
 #include "interval/col_int_graph.hpp"
 #include "interval/rep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("E7: distributed interval coloring (ColIntGraph)",
-                "[21] via Lemma 9 - colors <= floor((1+1/k) chi) + 1 in "
-                "O(k log* n) rounds");
+  bench::Context ctx(argc, argv,
+                     "E7: distributed interval coloring (ColIntGraph)",
+                     "[21] via Lemma 9 - colors <= floor((1+1/k) chi) + 1 in "
+                     "O(k log* n) rounds");
 
   Table table({"workload", "n", "k", "chi", "colors", "bound", "rounds",
                "violations"});
   auto run = [&table](const char* name, const GeneratedInterval& gen,
                       int k) {
+    obs::Span span(std::string("run ") + name + " n=" +
+                   std::to_string(gen.graph.num_vertices()) +
+                   " k=" + std::to_string(k));
     auto rep = interval::from_geometry(gen.left, gen.right);
     auto result = interval::col_int_graph(rep, k);
     table.add_row({name, Table::fmt(gen.graph.num_vertices()),
@@ -35,5 +39,6 @@ int main() {
         4);
   }
   table.print();
+  ctx.add_table("interval_coloring", table);
   return 0;
 }

@@ -7,15 +7,19 @@
 #include "interval/offline.hpp"
 #include "interval/rep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("E4: interval-graph MIS approximation and rounds",
-                "Theorems 5/6 - ratio <= 1+eps in O((1/eps) log* n) rounds");
+  bench::Context ctx(argc, argv,
+                     "E4: interval-graph MIS approximation and rounds",
+                     "Theorems 5/6 - ratio <= 1+eps in O((1/eps) log* n) "
+                     "rounds");
 
   Table table({"workload", "n", "eps", "ours", "opt", "ratio", "1+eps",
                "rounds"});
   auto run = [&table](const char* name, const GeneratedInterval& gen,
                       double eps) {
+    obs::Span span(std::string("run ") + name + " n=" +
+                   std::to_string(gen.graph.num_vertices()));
     auto rep = interval::from_geometry(gen.left, gen.right);
     auto ours = interval::approx_mis_interval(rep, eps);
     int opt = interval::alpha(rep);
@@ -41,6 +45,7 @@ int main() {
         0.25);
   }
   table.print();
+  ctx.add_table("interval_mis", table);
   std::printf("\nNote: rounds are flat in n (log* n) and scale with 1/eps "
               "on the staircase; dense instances collapse to exact local "
               "solves after the domination reduction.\n");

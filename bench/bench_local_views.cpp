@@ -9,11 +9,11 @@
 #include "cliqueforest/forest.hpp"
 #include "cliqueforest/local_view.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("E8: coherence of local clique-forest views",
-                "Lemma 2 - the MWSF of W[phi(v)] computed from a ball "
-                "equals the global subtree T(v)");
+  bench::Context ctx(argc, argv, "E8: coherence of local clique-forest views",
+                     "Lemma 2 - the MWSF of W[phi(v)] computed from a ball "
+                     "equals the global subtree T(v)");
 
   Table table({"shape", "n", "radius", "observers", "edges checked",
                "subtrees checked", "violations"});
@@ -22,6 +22,8 @@ int main() {
     const char* names[] = {"path", "caterpillar", "random", "binary",
                            "spider"};
     for (int radius : {2, 4, 8}) {
+      obs::Span span(std::string("views ") + names[static_cast<int>(shape)] +
+                     " radius=" + std::to_string(radius));
       auto gen = bench::chordal_workload(600, shape, 5);
       const Graph& g = gen.graph;
       CliqueForest global = CliqueForest::build(g);
@@ -63,6 +65,7 @@ int main() {
     }
   }
   table.print();
+  ctx.add_table("local_views", table);
   std::printf("\nviolations must be 0: all local views agree with the "
               "global decomposition.\n");
   return 0;

@@ -6,11 +6,12 @@
 #include "bench_common.hpp"
 #include "lowerbound/path_mis.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("E6: rounds vs approximation on labeled paths",
-                "Theorem 9 - (1+eps)-MIS on paths requires r = Omega(1/eps) "
-                "rounds");
+  bench::Context ctx(argc, argv,
+                     "E6: rounds vs approximation on labeled paths",
+                     "Theorem 9 - (1+eps)-MIS on paths requires r = "
+                     "Omega(1/eps) rounds");
 
   Table table({"r (rounds)", "E|I| / n", "measured ratio", "theory floor",
                "implied eps", "1/(4r)"});
@@ -27,6 +28,7 @@ int main() {
                    Table::fmt(1.0 / (4.0 * r), 5)});
   }
   table.print();
+  ctx.add_table("lower_bound", table);
   std::printf("\nimplied eps tracks Theta(1/r): to reach approximation "
               "1+eps you need r = Omega(1/eps) rounds.\n");
   return 0;

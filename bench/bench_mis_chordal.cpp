@@ -7,11 +7,11 @@
 #include "bench_common.hpp"
 #include "core/mis.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("E5: chordal MIS approximation and rounds",
-                "Theorems 7/8 - ratio <= 1+eps, O((1/eps) log(1/eps) "
-                "log* n) rounds, O(log(1/eps)) peel iterations");
+  bench::Context ctx(argc, argv, "E5: chordal MIS approximation and rounds",
+                     "Theorems 7/8 - ratio <= 1+eps, O((1/eps) log(1/eps) "
+                     "log* n) rounds, O(log(1/eps)) peel iterations");
 
   Table table({"shape", "n", "eps", "d", "iters", "ours", "alpha", "ratio",
                "rounds"});
@@ -20,6 +20,9 @@ int main() {
         shape == TreeShape::kRandom ? "random" : "caterpillar";
     for (int n : {1024, 8192}) {
       for (double eps : {0.4, 0.2, 0.1}) {
+        obs::Span span(std::string("run ") + shape_name +
+                       " n=" + std::to_string(n) +
+                       " eps=" + std::to_string(eps));
         auto gen = bench::chordal_workload(n, shape, 3 + n);
         auto ours = core::mis_chordal(gen.graph, {.eps = eps});
         int opt = baselines::independence_number_chordal(gen.graph);
@@ -36,6 +39,7 @@ int main() {
     }
   }
   table.print();
+  ctx.add_table("mis_chordal", table);
 
   std::printf("\nAblation: overriding the worst-case constant d = 64/eps "
               "(quality on random workloads barely moves, rounds shrink):\n\n");
@@ -54,5 +58,6 @@ int main() {
                       Table::fmt(ours.rounds)});
   }
   ablation.print();
+  ctx.add_table("d_override_ablation", ablation);
   return 0;
 }

@@ -4,11 +4,11 @@
 #include "bench_common.hpp"
 #include "core/mvc.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("E1: MVC approximation factor vs eps and n",
-                "Theorem 4 - colors <= (1+eps) * chi for eps >= 2/chi "
-                "(via <= floor((1+1/k) chi) + 1, k = ceil(2/eps))");
+  bench::Context ctx(argc, argv, "E1: MVC approximation factor vs eps and n",
+                     "Theorem 4 - colors <= (1+eps) * chi for eps >= 2/chi "
+                     "(via <= floor((1+1/k) chi) + 1, k = ceil(2/eps))");
 
   Table table({"shape", "n", "eps", "chi", "colors", "bound", "ratio",
                "ok"});
@@ -20,6 +20,8 @@ int main() {
                                  : "binary";
     for (int n : {256, 1024, 4096, 16384}) {
       for (double eps : {1.0, 0.5, 0.25, 0.125}) {
+        obs::Span run(std::string("run ") + shape_name +
+                      " n=" + std::to_string(n));
         auto gen = bench::chordal_workload(n, shape, 42 + n);
         auto result = core::mvc_chordal(gen.graph, {.eps = eps});
         int chi = result.omega;
@@ -37,5 +39,6 @@ int main() {
     }
   }
   table.print();
+  ctx.add_table("approximation", table);
   return 0;
 }

@@ -6,11 +6,12 @@
 #include "bench_common.hpp"
 #include "core/peeling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace chordal;
-  bench::header("E3: peeling layer counts and the halving invariant",
-                "Lemma 6 / Corollary 1 - <= ceil(log2 n) layers; "
-                "degree->=3 counts halve each iteration");
+  bench::Context ctx(argc, argv,
+                     "E3: peeling layer counts and the halving invariant",
+                     "Lemma 6 / Corollary 1 - <= ceil(log2 n) layers; "
+                     "degree->=3 counts halve each iteration");
 
   Table table({"shape", "n", "cliques", "layers", "ceil(log2 n)",
                "halving held", "deg>=3 trace"});
@@ -20,6 +21,8 @@ int main() {
     const char* names[] = {"path", "caterpillar", "random", "binary",
                            "spider"};
     for (int n : {1024, 8192, 65536}) {
+      obs::Span run(std::string("peel ") + names[static_cast<int>(shape)] +
+                    " n=" + std::to_string(n));
       auto gen = bench::chordal_workload(n, shape, 13);
       CliqueForest forest = CliqueForest::build(gen.graph);
       core::PeelConfig config;
@@ -46,5 +49,6 @@ int main() {
     }
   }
   table.print();
+  ctx.add_table("halving", table);
   return 0;
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test the Release configuration, then the
+# combined ASan+UBSan configuration. Both must pass.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S "$repo" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" "${EXTRA_CTEST_ARGS[@]}"
+}
+
+EXTRA_CTEST_ARGS=("$@")
+
+echo "== Release =="
+run_config "$repo/build-release" -DCMAKE_BUILD_TYPE=Release
+
+echo
+echo "== ASan + UBSan =="
+run_config "$repo/build-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCHORDAL_ASAN=ON -DCHORDAL_UBSAN=ON
+
+echo
+echo "All configurations passed."

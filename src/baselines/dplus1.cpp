@@ -2,12 +2,14 @@
 
 #include "baselines/baselines.hpp"
 #include "local/network.hpp"
+#include "obs/span.hpp"
 #include "support/rng.hpp"
 
 namespace chordal::baselines {
 
 DPlusOneResult dplus1_coloring(const Graph& g, std::uint64_t seed) {
   const int n = g.num_vertices();
+  obs::Span span("(Delta+1) greedy coloring");
   local::Network net(g);
   Rng rng(seed);
   std::vector<int> colors(static_cast<std::size_t>(n), -1);
@@ -64,6 +66,7 @@ DPlusOneResult dplus1_coloring(const Graph& g, std::uint64_t seed) {
   int max_color = -1;
   for (int c : result.colors) max_color = std::max(max_color, c);
   result.num_colors = max_color + 1;
+  span.note("colors", result.num_colors);
   return result;
 }
 

@@ -4,9 +4,13 @@
 #include <map>
 #include <stdexcept>
 
+#include <string>
+
 #include "cliqueforest/local_view.hpp"
 #include "graph/bfs.hpp"
 #include "graph/diameter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace chordal::core {
 
@@ -264,11 +268,24 @@ PeelingResult peel_with_local_decisions(const Graph& g,
     result.active_at.push_back(active_clique);
 
     // Every active node decides independently from its own ball.
+    obs::Span view_span("Lemma 2 local views, iter " + std::to_string(iter));
+    std::int64_t views_computed = 0;
     std::vector<char> removed(static_cast<std::size_t>(g.num_vertices()), 0);
     for (int v = 0; v < g.num_vertices(); ++v) {
       if (!active_vertex[v]) continue;
+      ++views_computed;
       if (decide_locally(g, v, radius, k, active_vertex, nullptr)) {
         removed[v] = 1;
+      }
+    }
+    if (view_span.live()) {
+      // Each decision floods a Gamma^{10k} ball: radius rounds, one 1-word
+      // heartbeat per neighbor per round (exact volumes are histogrammed by
+      // collect_ball when the views go through it).
+      view_span.set_rounds(radius);
+      view_span.note("views_computed", static_cast<double>(views_computed));
+      if (obs::Registry* reg = obs::current()) {
+        reg->counter("local_view.decisions").add(views_computed);
       }
     }
 

@@ -1,12 +1,15 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/mis.hpp"
 #include "core/peeling.hpp"
 #include "interval/absorbing_mis.hpp"
 #include "interval/mis_interval.hpp"
 #include "interval/offline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace chordal::core {
 
@@ -29,19 +32,35 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
   MisResult result;
   if (g.num_vertices() == 0) return result;
 
+  obs::Span span("MIS Algorithm 6 (Theorems 7/8)");
+  const bool telemetry = span.live();
+  std::vector<std::int64_t> congestion;
+
   result.d = options.d_override > 0
                  ? options.d_override
                  : static_cast<int>(std::ceil(64.0 / options.eps));
   result.iterations = static_cast<int>(std::ceil(std::log2(
                           static_cast<double>(result.d) / options.eps))) +
                       2;
+  if (telemetry) {
+    congestion.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+    span.note("n", g.num_vertices());
+    span.note("d", result.d);
+    span.note("eps", options.eps);
+    span.note("iterations", result.iterations);
+  }
 
   CliqueForest forest = CliqueForest::build(g);
   PeelConfig config;
   config.mode = PeelMode::kIndependentSet;
   config.d = result.d;
   config.max_iterations = result.iterations;
-  PeelingResult peeling = peel(g, forest, config);
+  PeelingResult peeling;
+  {
+    obs::Span peel_span("pruning: O(log(1/eps)) peel iterations (Lemma 14)");
+    peeling = peel(g, forest, config);
+    peel_span.note("layers", peeling.num_layers);
+  }
 
   std::vector<char> in_set(static_cast<std::size_t>(g.num_vertices()), 0);
   std::vector<char> blocked(static_cast<std::size_t>(g.num_vertices()), 0);
@@ -51,7 +70,26 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
   const std::int64_t ball_rounds = 4 * static_cast<std::int64_t>(result.d) +
                                    6;
 
+  int layer_index = 0;
   for (const auto& layer : peeling.layers) {
+    ++layer_index;
+    obs::Span layer_span("peeling layer " + std::to_string(layer_index) +
+                         " solve");
+    if (telemetry) {
+      // Ball collection heartbeat: every still-undecided node hears one
+      // word per neighbor per round of this layer's Gamma^{4d+6} sweep.
+      std::int64_t messages = 0;
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        if (peeling.layer_of[v] != 0 && peeling.layer_of[v] < layer_index) {
+          continue;
+        }
+        std::int64_t words =
+            static_cast<std::int64_t>(g.degree(v)) * ball_rounds;
+        congestion[v] += words;
+        messages += words;
+      }
+      layer_span.add_messages(messages, messages);
+    }
     std::int64_t layer_mis_rounds = 0;
     for (const auto& lp : layer) {
       PathIntervals full = path_intervals(forest, lp.path);
@@ -69,6 +107,17 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
 
       for (const auto& comp : model_components(model)) {
         PathIntervals sub = interval::restrict(model, comp);
+        if (telemetry) {
+          // Each component member learns the component's interval model
+          // (two words per interval) before the local solve.
+          auto model_words = static_cast<std::int64_t>(2 * sub.vertices.size());
+          for (std::size_t i = 0; i < sub.vertices.size(); ++i) {
+            congestion[sub.vertices[i]] += model_words;
+          }
+          obs::Span::charge_messages(
+              static_cast<std::int64_t>(sub.vertices.size()),
+              static_cast<std::int64_t>(sub.vertices.size()) * model_words);
+        }
         std::vector<std::size_t> picked_local;
         if (interval::alpha(sub) < result.d) {
           ++result.absorbing_components;
@@ -110,10 +159,23 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
       }
     }
     result.rounds += ball_rounds + layer_mis_rounds;
+    layer_span.set_rounds(ball_rounds + layer_mis_rounds);
   }
 
   for (int v = 0; v < g.num_vertices(); ++v) {
     if (in_set[v]) result.chosen.push_back(v);
+  }
+  span.set_rounds(result.rounds);
+  span.note("chosen", static_cast<double>(result.chosen.size()));
+  span.note("absorbing_components", result.absorbing_components);
+  span.note("approx_components", result.approx_components);
+  if (telemetry) {
+    if (obs::Registry* reg = obs::current()) {
+      auto& hist = reg->histogram("mis.node_congestion_words");
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        hist.add(static_cast<double>(congestion[v]));
+      }
+    }
   }
   return result;
 }

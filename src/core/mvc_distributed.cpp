@@ -10,6 +10,8 @@
 #include "interval/offline.hpp"
 #include "interval/window_recolor.hpp"
 #include "local/ball.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace chordal::core {
 
@@ -57,11 +59,18 @@ struct Engine {
   PeelingResult peeling;
   // Per-vertex completion time of the current phase (LOCAL clocks).
   std::vector<std::int64_t> clock;
+  // Telemetry (populated only when an obs::Registry is installed):
+  // per-vertex payload words received under the documented bandwidth model
+  // (see EXPERIMENTS.md "Telemetry"), the congestion hot-spot profile.
+  bool telemetry = false;
+  std::vector<std::int64_t> congestion;
 
   explicit Engine(const Graph& graph, const MvcOptions& opts)
       : g(graph), options(opts), forest(CliqueForest::build(graph)) {}
 
   void run() {
+    obs::Span span("MVC Algorithm 2 (Theorem 4)");
+    telemetry = span.live();
     result.k = std::max(2, static_cast<int>(std::ceil(2.0 / options.eps)));
     result.omega = 0;
     for (const auto& clique : forest.cliques()) {
@@ -69,36 +78,87 @@ struct Engine {
     }
     result.colors.assign(static_cast<std::size_t>(g.num_vertices()), -1);
     clock.assign(static_cast<std::size_t>(g.num_vertices()), 0);
-
-    if (options.pruning == PruningMode::kPerNodeLocalViews) {
-      peeling = peel_with_local_decisions(g, forest, result.k);
-    } else {
-      PeelConfig config;
-      config.mode = PeelMode::kColoring;
-      config.k = result.k;
-      peeling = peel(g, forest, config);
+    if (telemetry) {
+      congestion.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+      span.note("n", g.num_vertices());
+      span.note("k", result.k);
+      span.note("eps", options.eps);
     }
-    result.num_layers = peeling.num_layers;
 
-    // --- Pruning clocks: a node of layer i survived i iterations, each one
-    // a Gamma^{10k} collection (Algorithm 3).
-    for (int v = 0; v < g.num_vertices(); ++v) {
-      clock[v] = static_cast<std::int64_t>(peeling.layer_of[v]) * 10 *
-                 result.k;
+    {
+      obs::Span prune_span("pruning: Gamma^{10k} collections (Alg 3, Lemma 6)");
+      if (options.pruning == PruningMode::kPerNodeLocalViews) {
+        peeling = peel_with_local_decisions(g, forest, result.k);
+      } else {
+        PeelConfig config;
+        config.mode = PeelMode::kColoring;
+        config.k = result.k;
+        peeling = peel(g, forest, config);
+      }
+      result.num_layers = peeling.num_layers;
+
+      // --- Pruning clocks: a node of layer i survived i iterations, each
+      // one a Gamma^{10k} collection (Algorithm 3).
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        clock[v] = static_cast<std::int64_t>(peeling.layer_of[v]) * 10 *
+                   result.k;
+      }
+      result.pruning_rounds =
+          *std::max_element(clock.begin(), clock.end());
+      prune_span.set_rounds(result.pruning_rounds);
+      prune_span.note("layers", result.num_layers);
+      if (telemetry) {
+        // Bandwidth model: while active, a node hears one word per neighbor
+        // per round (the flooding heartbeat of its ball collection).
+        std::int64_t messages = 0;
+        for (int v = 0; v < g.num_vertices(); ++v) {
+          std::int64_t words = static_cast<std::int64_t>(g.degree(v)) * 10 *
+                               result.k * peeling.layer_of[v];
+          congestion[v] += words;
+          messages += words;
+        }
+        prune_span.add_messages(messages, messages);
+      }
     }
-    result.pruning_rounds =
-        *std::max_element(clock.begin(), clock.end());
 
-    color_layers();
-    result.coloring_rounds =
-        *std::max_element(clock.begin(), clock.end()) - result.pruning_rounds;
+    {
+      obs::Span color_span(
+          "layer coloring: ColIntGraph per path (Lemmas 7, 11)");
+      color_layers();
+      result.coloring_rounds =
+          *std::max_element(clock.begin(), clock.end()) -
+          result.pruning_rounds;
+      color_span.set_rounds(result.coloring_rounds);
+    }
 
-    correct_layers();
-    result.rounds = *std::max_element(clock.begin(), clock.end());
-    result.correction_rounds =
-        result.rounds - result.coloring_rounds - result.pruning_rounds;
+    {
+      obs::Span fix_span("color correction windows (Alg 4, Lemmas 8-10)");
+      correct_layers();
+      result.rounds = *std::max_element(clock.begin(), clock.end());
+      result.correction_rounds =
+          result.rounds - result.coloring_rounds - result.pruning_rounds;
+      fix_span.set_rounds(result.correction_rounds);
+      fix_span.note("recolored_vertices", result.recolored_vertices);
+      fix_span.note("palette_violations", result.palette_violations);
+    }
 
     finalize_counts();
+    span.set_rounds(result.rounds);
+    span.note("colors", result.num_colors);
+    if (telemetry) publish_node_histograms();
+  }
+
+  /// Per-node round clocks and congestion maxima, histogrammed across the
+  /// network ("where are the hot spots").
+  void publish_node_histograms() const {
+    obs::Registry* reg = obs::current();
+    if (reg == nullptr) return;
+    auto& rounds_hist = reg->histogram("mvc.node_rounds");
+    auto& congestion_hist = reg->histogram("mvc.node_congestion_words");
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      rounds_hist.add(static_cast<double>(clock[v]));
+      congestion_hist.add(static_cast<double>(congestion[v]));
+    }
   }
 
   /// Phase 2: every layer is an interval graph (one clique path per peeled
@@ -133,6 +193,17 @@ struct Engine {
         for (std::size_t i = 0; i < mine.vertices.size(); ++i) {
           result.colors[mine.vertices[i]] = colors[i];
           clock[mine.vertices[i]] += spent;
+        }
+        if (telemetry) {
+          // Each owned vertex learns its path's full interval model (two
+          // words per interval) to run the coloring subroutine.
+          auto model_words = static_cast<std::int64_t>(2 * full.vertices.size());
+          for (std::size_t i = 0; i < mine.vertices.size(); ++i) {
+            congestion[mine.vertices[i]] += model_words;
+          }
+          obs::Span::charge_messages(
+              static_cast<std::int64_t>(mine.vertices.size()),
+              static_cast<std::int64_t>(mine.vertices.size()) * model_words);
         }
       }
     }
@@ -231,6 +302,17 @@ struct Engine {
       if (result.colors[v] != solved[w]) ++result.recolored_vertices;
       result.colors[v] = solved[w];
       clock[v] = std::max(clock[v], done);
+    }
+    if (telemetry) {
+      // Every free vertex sees the whole recoloring window (interval + fixed
+      // color per member) during the O(k) exchange.
+      auto window_words = static_cast<std::int64_t>(3 * window.size());
+      for (std::size_t w : free_local) {
+        congestion[full.vertices[window[w]]] += window_words;
+      }
+      obs::Span::charge_messages(
+          static_cast<std::int64_t>(free_local.size()),
+          static_cast<std::int64_t>(free_local.size()) * window_words);
     }
   }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "obs/span.hpp"
 
 namespace chordal::core {
 
@@ -30,6 +33,7 @@ PeelingResult peel(const Graph& g, const CliqueForest& forest,
                 : config.max_iterations;
 
   for (int iter = 1; active_count > 0 && iter <= cap; ++iter) {
+    obs::Span layer_span("peel layer " + std::to_string(iter));
     int high_degree = 0;
     for (int c = 0; c < m; ++c) {
       if (!active[c]) continue;
@@ -73,6 +77,13 @@ PeelingResult peel(const Graph& g, const CliqueForest& forest,
     }
 
     result.active_at.push_back(active);
+    if (layer_span.live()) {
+      std::size_t owned_total = 0;
+      for (const auto& lp : taken) owned_total += lp.owned.size();
+      layer_span.note("paths", static_cast<double>(taken.size()));
+      layer_span.note("owned_vertices", static_cast<double>(owned_total));
+      layer_span.note("high_degree_cliques", high_degree);
+    }
     for (const auto& lp : taken) {
       for (int v : lp.owned) {
         if (result.layer_of[v] != 0) {

@@ -1,6 +1,8 @@
 #include "local/ball.hpp"
 
 #include "graph/bfs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace chordal::local {
 
@@ -25,6 +27,17 @@ Ball collect_ball(const Graph& g, int center, int radius,
   ball.graph = g.induced_subgraph(ball.vertices);
   ball.dist = bfs_distances(ball.graph, 0);
   if (ledger != nullptr) ledger->charge(center, radius);
+  if (obs::Registry* reg = obs::current()) {
+    // Flooding a radius-r ball costs r rounds; the collected view is the
+    // ball's adjacency encoding (one word per vertex, two per edge).
+    auto words = static_cast<std::int64_t>(ball.vertices.size() +
+                                           2 * ball.graph.num_edges());
+    reg->counter("ball.collections").add(1);
+    reg->histogram("ball.volume_words").add(static_cast<double>(words));
+    obs::Span::charge_rounds(radius);
+    obs::Span::charge_messages(static_cast<std::int64_t>(ball.vertices.size()),
+                               words);
+  }
   return ball;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/span.hpp"
+
 namespace chordal::local {
 
 namespace {
@@ -20,12 +22,17 @@ CvResult cole_vishkin_pseudoforest(std::span<const std::int64_t> ids,
   if (parent.size() != n) {
     throw std::invalid_argument("cole_vishkin: ids/parent size mismatch");
   }
+  obs::Span span("CV color reduction");
   CvResult result;
   std::vector<std::uint64_t> color(n);
+  std::int64_t non_roots = 0;
   for (std::size_t v = 0; v < n; ++v) {
     color[v] = static_cast<std::uint64_t>(ids[v]);
-    if (parent[v] >= 0 && ids[parent[v]] == ids[v]) {
-      throw std::invalid_argument("cole_vishkin: parent shares id");
+    if (parent[v] >= 0) {
+      ++non_roots;
+      if (ids[parent[v]] == ids[v]) {
+        throw std::invalid_argument("cole_vishkin: parent shares id");
+      }
     }
   }
 
@@ -81,6 +88,10 @@ CvResult cole_vishkin_pseudoforest(std::span<const std::int64_t> ids,
   for (std::size_t v = 0; v < n; ++v) {
     result.colors[v] = static_cast<int>(color[v]);
   }
+  // Bandwidth model: every round each non-root reads its parent's current
+  // color - one 1-word message per non-root per round.
+  span.set_rounds(result.rounds);
+  span.add_messages(result.rounds * non_roots, result.rounds * non_roots);
   return result;
 }
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "local/network.hpp"
+#include "obs/span.hpp"
 #include "support/rng.hpp"
 
 namespace chordal::local {
 
 LubyResult luby_mis(const Graph& g, std::uint64_t seed) {
   const int n = g.num_vertices();
+  obs::Span span("Luby MIS (draw/join/deactivate)");
   Network net(g);
   Rng rng(seed);
 
@@ -64,6 +66,8 @@ LubyResult luby_mis(const Graph& g, std::uint64_t seed) {
   for (int v = 0; v < n; ++v) {
     if (state[v] == State::kIn) result.independent_set.push_back(v);
   }
+  span.note("phases", result.phases);
+  span.note("mis_size", static_cast<double>(result.independent_set.size()));
   return result;
 }
 

@@ -1,36 +1,91 @@
 #include "local/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "obs/span.hpp"
 
 namespace chordal::local {
 
 Network::Network(const Graph& g)
     : graph_(&g),
       inboxes_(static_cast<std::size_t>(g.num_vertices())),
-      pending_(static_cast<std::size_t>(g.num_vertices())) {}
+      pending_(static_cast<std::size_t>(g.num_vertices())) {
+  stats_.node_max_inbox_messages.assign(
+      static_cast<std::size_t>(g.num_vertices()), 0);
+  stats_.node_max_inbox_words.assign(
+      static_cast<std::size_t>(g.num_vertices()), 0);
+}
+
+Network::~Network() { publish_metrics(); }
 
 void Network::send(int from, int to, Payload data) {
   if (!graph_->has_edge(from, to)) {
     throw std::invalid_argument("Network::send: recipient is not a neighbor");
   }
+  auto words = static_cast<std::int64_t>(data.size());
+  ++stats_.total_messages;
+  stats_.total_payload_words += words;
+  stats_.max_message_words = std::max(stats_.max_message_words, words);
   pending_[to].push_back({from, Message{from, std::move(data)}});
 }
 
 void Network::broadcast(int from, const Payload& data) {
+  auto words = static_cast<std::int64_t>(data.size());
   for (int to : graph_->neighbors(from)) {
+    ++stats_.total_messages;
+    stats_.total_payload_words += words;
+    stats_.max_message_words = std::max(stats_.max_message_words, words);
     pending_[to].push_back({from, Message{from, data}});
   }
 }
 
 void Network::deliver() {
+  std::int64_t round_messages = 0;
+  std::int64_t round_words = 0;
   for (int v = 0; v < num_nodes(); ++v) {
     inboxes_[v].clear();
+    std::int64_t inbox_words = 0;
     for (auto& [from, msg] : pending_[v]) {
+      inbox_words += static_cast<std::int64_t>(msg.data.size());
       inboxes_[v].push_back(std::move(msg));
     }
+    auto inbox_messages = static_cast<std::int64_t>(inboxes_[v].size());
+    round_messages += inbox_messages;
+    round_words += inbox_words;
+    auto& node_msgs = stats_.node_max_inbox_messages[v];
+    auto& node_words = stats_.node_max_inbox_words[v];
+    node_msgs = std::max(node_msgs, inbox_messages);
+    node_words = std::max(node_words, inbox_words);
+    stats_.max_inbox_messages =
+        std::max(stats_.max_inbox_messages, inbox_messages);
+    stats_.max_inbox_words = std::max(stats_.max_inbox_words, inbox_words);
     pending_[v].clear();
   }
   ++rounds_;
+  if (obs::Registry* reg = obs::current()) {
+    reg->histogram("net.round_messages")
+        .add(static_cast<double>(round_messages));
+    reg->histogram("net.round_payload_words")
+        .add(static_cast<double>(round_words));
+    obs::Span::charge_rounds(1);
+    obs::Span::charge_messages(round_messages, round_words);
+  }
+}
+
+void Network::publish_metrics() const {
+  obs::Registry* reg = obs::current();
+  if (reg == nullptr || published_ || rounds_ == 0) return;
+  published_ = true;
+  reg->counter("net.messages").add(stats_.total_messages);
+  reg->counter("net.payload_words").add(stats_.total_payload_words);
+  reg->counter("net.rounds").add(rounds_);
+  auto& msgs = reg->histogram("net.node_max_inbox_messages");
+  auto& words = reg->histogram("net.node_max_inbox_words");
+  for (int v = 0; v < num_nodes(); ++v) {
+    msgs.add(static_cast<double>(stats_.node_max_inbox_messages[v]));
+    words.add(static_cast<double>(stats_.node_max_inbox_words[v]));
+  }
 }
 
 }  // namespace chordal::local

@@ -5,6 +5,14 @@
 // Algorithms drive the engine in a strict pattern - a compute pass over all
 // nodes issuing send() calls, then deliver() to advance the round - so
 // information demonstrably travels one hop per round.
+//
+// The engine doubles as the telemetry layer's ground truth for bandwidth:
+// it keeps exact per-run NetworkStats (message counts, payload words, and
+// per-node congestion maxima - what CONGEST would have to pay), charges
+// each round's traffic to the innermost live obs::Span, and publishes
+// per-node congestion histograms to the installed obs::Registry when the
+// run ends. All registry traffic is guarded by the null-registry fast path;
+// the always-on NetworkStats counters are a handful of integer adds.
 #pragma once
 
 #include <cstdint>
@@ -22,9 +30,24 @@ struct Message {
   Payload data;
 };
 
+/// Exact traffic accounting for one Network run. "Words" are payload
+/// entries (std::int64_t each); congestion is measured at the receiver,
+/// per round.
+struct NetworkStats {
+  std::int64_t total_messages = 0;
+  std::int64_t total_payload_words = 0;
+  std::int64_t max_message_words = 0;   // largest single message
+  std::int64_t max_inbox_messages = 0;  // worst node-round, message count
+  std::int64_t max_inbox_words = 0;     // worst node-round, payload volume
+  /// Per-node worst round (the congestion hot-spot profile).
+  std::vector<std::int64_t> node_max_inbox_messages;
+  std::vector<std::int64_t> node_max_inbox_words;
+};
+
 class Network {
  public:
   explicit Network(const Graph& g);
+  ~Network();
 
   const Graph& graph() const { return *graph_; }
   int num_nodes() const { return graph_->num_vertices(); }
@@ -46,11 +69,21 @@ class Network {
 
   int rounds() const { return rounds_; }
 
+  const NetworkStats& stats() const { return stats_; }
+
+  /// Pushes this run's totals and per-node congestion histograms
+  /// ("net.node_max_inbox_messages" / "net.node_max_inbox_words") to the
+  /// current obs::Registry. Called automatically on destruction; no-op when
+  /// telemetry is off or no round ever ran.
+  void publish_metrics() const;
+
  private:
   const Graph* graph_;
   std::vector<std::vector<Message>> inboxes_;
   std::vector<std::vector<std::pair<int, Message>>> pending_;  // per recipient batches
   int rounds_ = 0;
+  NetworkStats stats_;
+  mutable bool published_ = false;
 };
 
 }  // namespace chordal::local

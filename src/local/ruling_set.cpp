@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "local/cole_vishkin.hpp"
+#include "obs/span.hpp"
 
 namespace chordal::local {
 
@@ -62,6 +63,9 @@ RulingSetResult distance_k_mis_interval(const PathIntervals& rep, int k) {
   const std::size_t n = rep.vertices.size();
   RulingSetResult result;
   if (n == 0) return result;
+  obs::Span span("distance-k MIS on G^k (ruling set)");
+  span.note("k", k);
+  span.note("n", static_cast<double>(n));
 
   // --- Symmetry breaking (measured rounds): Cole-Vishkin on the
   // rightmost-neighbor pseudoforest. succ(v) = the neighbor maximizing
@@ -71,6 +75,8 @@ RulingSetResult distance_k_mis_interval(const PathIntervals& rep, int k) {
     // best vertex (by (hi, id)) among intervals with lo <= p, per position.
     std::vector<int> best_at(static_cast<std::size_t>(rep.num_positions), -1);
     auto better = [&](int x, int y) {  // is x better than y
+      if (x == -1) return false;  // "no vertex" never wins (positions before
+                                  // the first interval leave -1 slots)
       if (y == -1) return true;
       if (rep.hi[x] != rep.hi[y]) return rep.hi[x] > rep.hi[y];
       return rep.vertices[x] > rep.vertices[y];
@@ -96,6 +102,11 @@ RulingSetResult distance_k_mis_interval(const PathIntervals& rep, int k) {
   // the fragment sweeps after symmetry breaking cost a constant number of
   // distance-k exchanges.
   result.rounds = static_cast<std::int64_t>(cv.rounds + 3) * k;
+  // The G^k simulation relays each exchange over k hops: every vertex
+  // forwards its k-neighborhood's words each sweep round.
+  span.set_rounds(result.rounds);
+  span.add_messages(3 * static_cast<std::int64_t>(k) * static_cast<std::int64_t>(n),
+                    3 * static_cast<std::int64_t>(k) * static_cast<std::int64_t>(n) * 2);
 
   // --- Canonical anchor selection: repeatedly take the (hi, id)-smallest
   // vertex at distance > k from every chosen anchor. Produces a maximal
@@ -154,6 +165,7 @@ RulingSetResult distance_k_mis_interval(const PathIntervals& rep, int k) {
       if (dist[i] != -1 && dist[i] <= k) covered[cand[i]] = 1;
     }
   }
+  span.note("anchors", static_cast<double>(result.anchors.size()));
   return result;
 }
 

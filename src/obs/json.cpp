@@ -1,0 +1,139 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace chordal::obs {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;  // top-level value
+  if (stack_.back() == Frame::kObject) {
+    if (!key_pending_) {
+      throw std::logic_error("JsonWriter: value in object requires key()");
+    }
+    key_pending_ = false;
+  } else {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: key() outside object");
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  first_.pop_back();
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ += buf;
+  }
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!done_ || !stack_.empty()) {
+    throw std::logic_error("JsonWriter: document incomplete");
+  }
+  return out_;
+}
+
+}  // namespace chordal::obs

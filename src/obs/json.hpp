@@ -1,0 +1,52 @@
+// Minimal streaming JSON writer for the telemetry layer.
+//
+// No external JSON dependency is available in this codebase, so the emitter
+// is a small nesting-aware string builder: it inserts commas, escapes
+// strings, and rejects structurally invalid sequences (value without a key
+// inside an object, unbalanced end_*) by throwing std::logic_error. Doubles
+// that are not finite are emitted as null - JSON has no Inf/NaN literals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chordal::obs {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::size_t v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// The finished document; valid only once all containers are closed.
+  const std::string& str() const;
+
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame : char { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;  // parallel to stack_
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace chordal::obs

@@ -1,0 +1,60 @@
+#include "obs/span.hpp"
+
+namespace chordal::obs {
+
+Span::Span(std::string_view name) {
+  Registry* reg = current();
+  if (reg == nullptr) return;
+  registry_ = reg;
+  node_ = reg->open_span(std::string(name));
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (node_ == nullptr) return;
+  std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  node_->wall_ms = elapsed.count();
+  registry_->close_span(node_);
+}
+
+void Span::add_rounds(std::int64_t rounds) {
+  if (node_ != nullptr) node_->rounds += rounds;
+}
+
+void Span::add_messages(std::int64_t count, std::int64_t payload_words) {
+  if (node_ == nullptr) return;
+  node_->messages += count;
+  node_->payload_words += payload_words;
+}
+
+void Span::set_rounds(std::int64_t rounds) {
+  if (node_ != nullptr) node_->rounds = rounds;
+}
+
+void Span::note(std::string_view key, double value) {
+  if (node_ != nullptr) node_->note(key, value);
+}
+
+void Span::charge_rounds(std::int64_t rounds) {
+  Registry* reg = current();
+  if (reg == nullptr) return;
+  if (SpanNode* node = reg->active_span()) node->rounds += rounds;
+}
+
+void Span::charge_messages(std::int64_t count, std::int64_t payload_words) {
+  Registry* reg = current();
+  if (reg == nullptr) return;
+  if (SpanNode* node = reg->active_span()) {
+    node->messages += count;
+    node->payload_words += payload_words;
+  }
+}
+
+void Span::annotate(std::string_view key, double value) {
+  Registry* reg = current();
+  if (reg == nullptr) return;
+  if (SpanNode* node = reg->active_span()) node->note(key, value);
+}
+
+}  // namespace chordal::obs

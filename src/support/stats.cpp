@@ -23,16 +23,57 @@ double StatAccumulator::variance() const {
 
 double StatAccumulator::stddev() const { return std::sqrt(variance()); }
 
+namespace {
+
+/// Shared interpolation kernel; `sorted` must be ascending and non-empty.
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace
+
 double percentile(std::vector<double> samples, double q) {
   if (samples.empty()) throw std::invalid_argument("percentile: empty sample");
   std::sort(samples.begin(), samples.end());
-  if (q <= 0) return samples.front();
-  if (q >= 1) return samples.back();
-  double pos = q * static_cast<double>(samples.size() - 1);
-  std::size_t lo = static_cast<std::size_t>(pos);
-  double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples.size()) return samples.back();
-  return samples[lo] * (1 - frac) + samples[lo + 1] * frac;
+  return percentile_sorted(samples, q);
+}
+
+void Samples::add(double x) {
+  sorted_ = data_.empty() || (sorted_ && x >= data_.back());
+  data_.push_back(x);
+  sum_ += x;
+}
+
+double Samples::min() const {
+  if (data_.empty()) throw std::invalid_argument("Samples::min: empty");
+  return percentile(0.0);
+}
+
+double Samples::max() const {
+  if (data_.empty()) throw std::invalid_argument("Samples::max: empty");
+  return percentile(1.0);
+}
+
+double Samples::mean() const {
+  if (data_.empty()) throw std::invalid_argument("Samples::mean: empty");
+  return sum_ / static_cast<double>(data_.size());
+}
+
+double Samples::percentile(double q) const {
+  if (data_.empty()) {
+    throw std::invalid_argument("Samples::percentile: empty sample");
+  }
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  return percentile_sorted(data_, q);
 }
 
 }  // namespace chordal

@@ -33,4 +33,30 @@ class StatAccumulator {
 /// Percentile of a sample set (linear interpolation); q in [0, 1].
 double percentile(std::vector<double> samples, double q);
 
+/// Sample store with percentile queries (p50/p95/...), the backing type of
+/// the telemetry histograms. Keeps every sample; sorting is deferred to the
+/// first quantile query after an insertion, so add() stays O(1) amortized
+/// and interleaved add/query workloads only re-sort when dirty.
+class Samples {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+
+  /// Linear-interpolation percentile; q in [0, 1]. Throws on empty sets.
+  double percentile(double q) const;
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+
+ private:
+  mutable std::vector<double> data_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
 }  // namespace chordal

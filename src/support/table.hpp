@@ -19,6 +19,10 @@ class Table {
   /// Convenience: prints to stdout.
   void print() const;
 
+  /// Raw cells, for structured (JSON) emission alongside the text render.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   static std::string fmt(double v, int precision = 3);
   static std::string fmt(long long v);
   static std::string fmt(long v) { return fmt(static_cast<long long>(v)); }

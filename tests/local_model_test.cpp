@@ -11,6 +11,8 @@
 #include "local/luby.hpp"
 #include "local/network.hpp"
 #include "local/ruling_set.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "test_util.hpp"
 
 namespace chordal {
@@ -49,6 +51,100 @@ TEST(Network, BroadcastReachesAllNeighbors) {
     ASSERT_EQ(net.inbox(leaf).size(), 1u);
     EXPECT_EQ(net.inbox(leaf)[0].data[0], 7);
   }
+}
+
+TEST(Network, BroadcastOnIsolatedVertexIsSilentNoop) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);  // vertex 2 stays isolated
+  Graph g = builder.build();
+  Network net(g);
+  net.broadcast(2, {99});
+  net.deliver();
+  for (int v = 0; v < 3; ++v) EXPECT_TRUE(net.inbox(v).empty());
+  EXPECT_EQ(net.stats().total_messages, 0);
+  EXPECT_EQ(net.rounds(), 1);
+}
+
+TEST(Network, InboxClearsAcrossDelivers) {
+  Graph g = path_graph(3);
+  Network net(g);
+  net.send(0, 1, {1});
+  net.deliver();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  net.send(2, 1, {2});
+  net.deliver();
+  // Round 1's message must be gone; only round 2's remains.
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].from, 2);
+  EXPECT_EQ(net.inbox(1)[0].data[0], 2);
+  net.deliver();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(Network, RoundCounterIsMonotone) {
+  Graph g = path_graph(2);
+  Network net(g);
+  EXPECT_EQ(net.rounds(), 0);
+  int previous = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (i % 2 == 0) net.send(0, 1, {i});
+    net.deliver();
+    EXPECT_EQ(net.rounds(), previous + 1);  // +1 per deliver, even when idle
+    previous = net.rounds();
+  }
+}
+
+TEST(Network, StatsTrackCongestionMaxima) {
+  Graph g = star_graph(3);  // center 0, leaves 1..3
+  Network net(g);
+  // Round 1: every leaf sends 2 words to the center.
+  for (int leaf = 1; leaf <= 3; ++leaf) net.send(leaf, 0, {1, 2});
+  net.deliver();
+  // Round 2: one large message in the other direction.
+  net.send(0, 1, {1, 2, 3, 4, 5});
+  net.deliver();
+  const local::NetworkStats& stats = net.stats();
+  EXPECT_EQ(stats.total_messages, 4);
+  EXPECT_EQ(stats.total_payload_words, 11);
+  EXPECT_EQ(stats.max_message_words, 5);
+  EXPECT_EQ(stats.max_inbox_messages, 3);  // center, round 1
+  EXPECT_EQ(stats.max_inbox_words, 6);     // center, round 1
+  ASSERT_EQ(stats.node_max_inbox_messages.size(), 4u);
+  EXPECT_EQ(stats.node_max_inbox_messages[0], 3);
+  EXPECT_EQ(stats.node_max_inbox_words[0], 6);
+  EXPECT_EQ(stats.node_max_inbox_messages[1], 1);
+  EXPECT_EQ(stats.node_max_inbox_words[1], 5);
+  EXPECT_EQ(stats.node_max_inbox_messages[2], 0);
+}
+
+TEST(Network, PublishesMetricsToRegistry) {
+  obs::Registry reg;
+  {
+    obs::ScopedRegistry scope(reg);
+    obs::Span phase("test phase");
+    Graph g = path_graph(3);
+    Network net(g);
+    net.send(0, 1, {1, 2, 3});
+    net.deliver();
+    net.deliver();  // silent round still counts
+  }
+  const obs::Counter* messages = reg.find_counter("net.messages");
+  ASSERT_NE(messages, nullptr);
+  EXPECT_EQ(messages->value(), 1);
+  const obs::Counter* rounds = reg.find_counter("net.rounds");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(rounds->value(), 2);
+  const obs::Histogram* inbox_words =
+      reg.find_histogram("net.node_max_inbox_words");
+  ASSERT_NE(inbox_words, nullptr);
+  EXPECT_EQ(inbox_words->count(), 3u);
+  EXPECT_DOUBLE_EQ(inbox_words->max(), 3.0);
+  // Traffic was charged to the innermost live span.
+  ASSERT_EQ(reg.span_root().children.size(), 1u);
+  const obs::SpanNode& span = *reg.span_root().children[0];
+  EXPECT_EQ(span.rounds, 2);
+  EXPECT_EQ(span.messages, 1);
+  EXPECT_EQ(span.payload_words, 3);
 }
 
 TEST(RoundLedgerTest, ClocksAndSynchronization) {

@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace chordal {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::JsonWriter;
+using obs::Registry;
+using obs::ScopedRegistry;
+using obs::Span;
+using obs::SpanNode;
+
+// ---------------------------------------------------------------------------
+// A tiny recursive-descent JSON syntax checker, used to assert that what the
+// emitter produces is actually well-formed JSON (the acceptance criterion),
+// without depending on an external parser.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!parse_value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool parse_value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool parse_object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!parse_string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool parse_array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool parse_string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(Metrics, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  Gauge g;
+  g.set(3.0);
+  g.set(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), -1.5);
+}
+
+TEST(Metrics, HistogramPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_NEAR(h.p50(), 50.5, 1.0);
+  EXPECT_NEAR(h.p95(), 95.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Metrics, HistogramInterleavesAddAndQuery) {
+  // The lazy-sort accumulator must stay correct when adds arrive after a
+  // percentile query invalidated the sorted cache.
+  Histogram h;
+  h.add(10.0);
+  h.add(30.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 20.0);
+  h.add(20.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 20.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+}
+
+TEST(Metrics, RegistryHandsOutStableNamedMetrics) {
+  Registry reg;
+  Counter& c = reg.counter("net.messages");
+  c.add(7);
+  EXPECT_EQ(reg.counter("net.messages").value(), 7);
+  EXPECT_EQ(&reg.counter("net.messages"), &c);
+  EXPECT_EQ(reg.find_counter("net.messages"), &c);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+  reg.histogram("h").add(1.0);
+  ASSERT_NE(reg.find_histogram("h"), nullptr);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+TEST(Spans, NoRegistryMeansInert) {
+  ASSERT_EQ(obs::current(), nullptr);
+  Span span("free-standing");
+  EXPECT_FALSE(span.live());
+  // All of these must be harmless no-ops.
+  span.add_rounds(5);
+  span.add_messages(1, 2);
+  span.set_rounds(9);
+  span.note("k", 4.0);
+  Span::charge_rounds(3);
+  Span::charge_messages(1, 1);
+  Span::annotate("x", 1.0);
+}
+
+TEST(Spans, NestingBuildsTheTree) {
+  Registry reg;
+  {
+    ScopedRegistry scope(reg);
+    ASSERT_EQ(obs::current(), &reg);
+    Span outer("outer");
+    ASSERT_TRUE(outer.live());
+    outer.add_rounds(10);
+    {
+      Span inner("inner");
+      inner.add_messages(4, 100);
+      inner.note("layers", 3.0);
+      // Static charging lands on the innermost live span.
+      Span::charge_rounds(2);
+    }
+    {
+      Span sibling("sibling");
+      sibling.set_rounds(7);
+    }
+  }
+  const SpanNode& root = reg.span_root();
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanNode& outer = *root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.rounds, 10);
+  EXPECT_GE(outer.wall_ms, 0.0);
+  ASSERT_EQ(outer.children.size(), 2u);
+  const SpanNode& inner = *outer.children[0];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.rounds, 2);
+  EXPECT_EQ(inner.messages, 4);
+  EXPECT_EQ(inner.payload_words, 100);
+  ASSERT_EQ(inner.notes.size(), 1u);
+  EXPECT_EQ(inner.notes[0].first, "layers");
+  EXPECT_DOUBLE_EQ(inner.notes[0].second, 3.0);
+  EXPECT_EQ(outer.children[1]->name, "sibling");
+  EXPECT_EQ(outer.children[1]->rounds, 7);
+}
+
+TEST(Spans, ScopedRegistryRestoresPrevious) {
+  Registry a;
+  Registry b;
+  {
+    ScopedRegistry scope_a(a);
+    EXPECT_EQ(obs::current(), &a);
+    {
+      ScopedRegistry scope_b(b);
+      EXPECT_EQ(obs::current(), &b);
+      Span span("into-b");
+    }
+    EXPECT_EQ(obs::current(), &a);
+  }
+  EXPECT_EQ(obs::current(), nullptr);
+  EXPECT_EQ(b.span_root().children.size(), 1u);
+  EXPECT_TRUE(a.span_root().children.empty());
+}
+
+TEST(Spans, NoteUpserts) {
+  SpanNode node;
+  node.note("colors", 4.0);
+  node.note("colors", 8.0);
+  ASSERT_EQ(node.notes.size(), 1u);
+  EXPECT_DOUBLE_EQ(node.notes[0].second, 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer.
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, WritesNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("bench");
+  w.key("n").value(4096);
+  w.key("ratio").value(1.25);
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.key("rows").begin_array();
+  w.value("a");
+  w.value(std::int64_t{-3});
+  w.begin_object();
+  w.key("inner").value(0.5);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  const std::string& doc = w.str();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"name\":\"bench\""), std::string::npos);
+  EXPECT_NE(doc.find("\"missing\":null"), std::string::npos);
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, RejectsStructuralMisuse) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("x"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // incomplete document
+  }
+}
+
+TEST(Json, RegistrySerializesToWellFormedJson) {
+  Registry reg;
+  reg.counter("net.messages").add(12);
+  reg.gauge("eps").set(0.25);
+  Histogram& h = reg.histogram("net.node_max_inbox_words");
+  for (int i = 0; i < 32; ++i) h.add(i * 3.0);
+  {
+    ScopedRegistry scope(reg);
+    Span outer("phase \"quoted\" name");  // must survive escaping
+    outer.add_rounds(5);
+    Span inner("child");
+    inner.add_messages(2, 64);
+    inner.note("layers", 2.0);
+  }
+  std::string doc = reg.to_json();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"spans\""), std::string::npos);
+  EXPECT_NE(doc.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p95\""), std::string::npos);
+}
+
+TEST(Json, EmptyRegistryStillWellFormed) {
+  Registry reg;
+  std::string doc = reg.to_json();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+}
+
+}  // namespace
+}  // namespace chordal
