@@ -3,14 +3,19 @@
 // that the simulation substrate scales near-linearly.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "baselines/baselines.hpp"
 #include "cliqueforest/forest.hpp"
 #include "cliqueforest/local_view.hpp"
+#include "core/mis.hpp"
 #include "core/mvc.hpp"
 #include "graph/cliques.hpp"
 #include "graph/generators.hpp"
 #include "graph/peo.hpp"
 #include "local/ball.hpp"
+#include "local/workspace.hpp"
+#include "support/parallel.hpp"
 
 namespace {
 
@@ -63,6 +68,40 @@ void BM_BallCollection(benchmark::State& state) {
 }
 BENCHMARK(BM_BallCollection)->DenseRange(2, 14, 4);
 
+void BM_BallCollectionRestricted(benchmark::State& state) {
+  // The drivers' actual call shape: collection inside an activity mask.
+  auto gen = workload(2048);
+  std::vector<char> active(
+      static_cast<std::size_t>(gen.graph.num_vertices()), 1);
+  for (int v = 0; v < gen.graph.num_vertices(); v += 5) active[v] = 0;
+  int v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::collect_ball(
+        gen.graph, v, static_cast<int>(state.range(0)), &active));
+    do {
+      v = (v + 37) % gen.graph.num_vertices();
+    } while (!active[v]);
+  }
+}
+BENCHMARK(BM_BallCollectionRestricted)->DenseRange(2, 14, 4);
+
+void BM_BallCollectionWorkspace(benchmark::State& state) {
+  // Workspace form: same balls as BM_BallCollection, zero O(n) clears and
+  // zero steady-state allocations. The ratio to BM_BallCollection is the
+  // per-call allocation/clear overhead of the naive path.
+  auto gen = workload(2048);
+  local::BallWorkspace ws;
+  local::Ball ball;
+  int v = 0;
+  for (auto _ : state) {
+    local::collect_ball(gen.graph, v, static_cast<int>(state.range(0)),
+                        nullptr, nullptr, ws, ball);
+    benchmark::DoNotOptimize(ball.vertices.data());
+    v = (v + 37) % gen.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_BallCollectionWorkspace)->DenseRange(2, 14, 4);
+
 void BM_LocalView(benchmark::State& state) {
   auto gen = workload(1024);
   int v = 0;
@@ -73,6 +112,19 @@ void BM_LocalView(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalView);
 
+void BM_LocalViewWorkspace(benchmark::State& state) {
+  auto gen = workload(1024);
+  local::BallWorkspace ws;
+  LocalView view;
+  int v = 0;
+  for (auto _ : state) {
+    local::compute_local_view(gen.graph, v, 6, nullptr, ws, view);
+    benchmark::DoNotOptimize(view.cliques.data());
+    v = (v + 41) % gen.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_LocalViewWorkspace);
+
 void BM_MvcEndToEnd(benchmark::State& state) {
   auto gen = workload(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -81,6 +133,28 @@ void BM_MvcEndToEnd(benchmark::State& state) {
   state.SetComplexityN(gen.graph.num_vertices());
 }
 BENCHMARK(BM_MvcEndToEnd)->Range(256, 8192)->Complexity();
+
+void BM_MvcEndToEndThreads(benchmark::State& state) {
+  // Thread sweep of the parallel engine (arg = worker count). Output is
+  // bit-identical at every point of the sweep; only wall clock may move.
+  auto gen = workload(8192);
+  support::set_num_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mvc_chordal(gen.graph, {.eps = 0.5}));
+  }
+  support::set_num_threads(0);
+}
+BENCHMARK(BM_MvcEndToEndThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MisEndToEndThreads(benchmark::State& state) {
+  auto gen = workload(8192);
+  support::set_num_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mis_chordal(gen.graph));
+  }
+  support::set_num_threads(0);
+}
+BENCHMARK(BM_MisEndToEndThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_OptimalColoringBaseline(benchmark::State& state) {
   auto gen = workload(static_cast<int>(state.range(0)));

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the Release configuration, then the
-# combined ASan+UBSan configuration. Both must pass.
+# Full pre-merge check: build and test the Release configuration, the
+# combined ASan+UBSan configuration, and the ThreadSanitizer configuration
+# (which exercises the parallel_for drivers at several worker counts). All
+# must pass.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -25,6 +27,11 @@ echo
 echo "== ASan + UBSan =="
 run_config "$repo/build-san" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCHORDAL_ASAN=ON -DCHORDAL_UBSAN=ON
+
+echo
+echo "== TSan (parallel drivers, CHORDAL_THREADS=4) =="
+CHORDAL_THREADS=4 run_config "$repo/build-tsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHORDAL_TSAN=ON
 
 echo
 echo "All configurations passed."

@@ -1,8 +1,8 @@
 #include "cliqueforest/local_view.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "cliqueforest/forest.hpp"
 #include "graph/bfs.hpp"
@@ -43,11 +43,14 @@ LocalView compute_local_view(const Graph& g, int observer, int radius,
   }
   std::sort(view.cliques.begin(), view.cliques.end());
 
-  // phi(u) for every trusted vertex u (distance <= radius-1).
-  std::map<int, std::vector<int>> phi;  // global vertex -> clique indices
+  // phi(u) for every trusted vertex u (distance <= radius-1), as a flat
+  // sorted (vertex, clique) list: cliques were emitted in sorted order, so
+  // sorting the pairs reproduces the per-vertex ascending clique families.
+  std::vector<std::pair<int, int>> phi_pairs;
   for (std::size_t c = 0; c < view.cliques.size(); ++c) {
-    for (int v : view.cliques[c]) phi[v].push_back(static_cast<int>(c));
+    for (int v : view.cliques[c]) phi_pairs.emplace_back(v, static_cast<int>(c));
   }
+  std::sort(phi_pairs.begin(), phi_pairs.end());
   for (int lv = 0; lv < ball_graph.num_vertices(); ++lv) {
     if (dist_in_ball[lv] <= radius - 1) {
       view.trusted_vertices.push_back(original[lv]);
@@ -58,10 +61,17 @@ LocalView compute_local_view(const Graph& g, int observer, int radius,
   // For each trusted u: the unique MWSF of W restricted to phi(u) equals
   // T(u) (Lemma 2). Union all such edges.
   std::vector<std::pair<int, int>> edges;
+  std::size_t cursor = 0;
+  std::vector<int> family;
   for (int u : view.trusted_vertices) {
-    auto it = phi.find(u);
-    if (it == phi.end() || it->second.size() < 2) continue;
-    const auto& family = it->second;
+    // trusted_vertices ascends, so one forward walk covers all families.
+    while (cursor < phi_pairs.size() && phi_pairs[cursor].first < u) ++cursor;
+    family.clear();
+    while (cursor < phi_pairs.size() && phi_pairs[cursor].first == u) {
+      family.push_back(phi_pairs[cursor].second);
+      ++cursor;
+    }
+    if (family.size() < 2) continue;
     std::vector<std::vector<int>> family_cliques;
     family_cliques.reserve(family.size());
     for (int c : family) family_cliques.push_back(view.cliques[c]);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "graph/bfs.hpp"
 #include "graph/diameter.hpp"
 
 namespace chordal {
@@ -89,57 +88,93 @@ std::vector<ForestPath> maximal_binary_paths(const CliqueForest& forest,
   return paths;
 }
 
-std::vector<int> path_union_vertices(const CliqueForest& forest,
-                                     const ForestPath& path) {
-  std::vector<int> out;
+void PathScratch::ensure(const CliqueForest& forest) {
+  auto m = static_cast<std::size_t>(forest.num_cliques());
+  if (clique_stamp.size() < m) {
+    clique_stamp.resize(m, 0);
+    clique_pos.resize(m, 0);
+  }
+}
+
+void path_union_vertices(const CliqueForest& forest, const ForestPath& path,
+                         std::vector<int>& out) {
+  out.clear();
   for (int c : path.cliques) {
     out.insert(out.end(), forest.clique(c).begin(), forest.clique(c).end());
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::vector<int> path_union_vertices(const CliqueForest& forest,
+                                     const ForestPath& path) {
+  std::vector<int> out;
+  path_union_vertices(forest, path, out);
   return out;
+}
+
+void path_owned_vertices(const CliqueForest& forest,
+                         const std::vector<char>& active_clique,
+                         const ForestPath& path, PathScratch& scratch,
+                         std::vector<int>& out) {
+  scratch.ensure(forest);
+  const std::uint64_t mark = ++scratch.epoch;
+  for (int c : path.cliques) scratch.clique_stamp[c] = mark;
+  path_union_vertices(forest, path, scratch.verts);
+  out.clear();
+  for (int v : scratch.verts) {
+    bool all_inside = true;
+    for (int c : forest.cliques_of(v)) {
+      if (active_clique[c] && scratch.clique_stamp[c] != mark) {
+        all_inside = false;
+        break;
+      }
+    }
+    if (all_inside) out.push_back(v);
+  }
 }
 
 std::vector<int> path_owned_vertices(const CliqueForest& forest,
                                      const std::vector<char>& active_clique,
                                      const ForestPath& path) {
-  std::vector<char> in_path(static_cast<std::size_t>(forest.num_cliques()),
-                            0);
-  for (int c : path.cliques) in_path[c] = 1;
+  thread_local PathScratch scratch;
   std::vector<int> owned;
-  for (int v : path_union_vertices(forest, path)) {
-    bool all_inside = true;
+  path_owned_vertices(forest, active_clique, path, scratch, owned);
+  return owned;
+}
+
+void path_intervals(const CliqueForest& forest, const ForestPath& path,
+                    PathScratch& scratch, PathIntervals& out) {
+  scratch.ensure(forest);
+  const std::uint64_t mark = ++scratch.epoch;
+  for (std::size_t i = 0; i < path.cliques.size(); ++i) {
+    scratch.clique_stamp[path.cliques[i]] = mark;
+    scratch.clique_pos[path.cliques[i]] = static_cast<int>(i);
+  }
+  out.num_positions = static_cast<int>(path.cliques.size());
+  path_union_vertices(forest, path, out.vertices);
+  out.lo.clear();
+  out.hi.clear();
+  out.lo.reserve(out.vertices.size());
+  out.hi.reserve(out.vertices.size());
+  for (int v : out.vertices) {
+    int lo = out.num_positions, hi = -1;
     for (int c : forest.cliques_of(v)) {
-      if (active_clique[c] && !in_path[c]) {
-        all_inside = false;
-        break;
+      if (scratch.clique_stamp[c] == mark) {
+        lo = std::min(lo, scratch.clique_pos[c]);
+        hi = std::max(hi, scratch.clique_pos[c]);
       }
     }
-    if (all_inside) owned.push_back(v);
+    out.lo.push_back(lo);
+    out.hi.push_back(hi);
   }
-  return owned;
 }
 
 PathIntervals path_intervals(const CliqueForest& forest,
                              const ForestPath& path) {
-  std::vector<int> pos(static_cast<std::size_t>(forest.num_cliques()), -1);
-  for (std::size_t i = 0; i < path.cliques.size(); ++i) {
-    pos[path.cliques[i]] = static_cast<int>(i);
-  }
+  thread_local PathScratch scratch;
   PathIntervals rep;
-  rep.num_positions = static_cast<int>(path.cliques.size());
-  for (int v : path_union_vertices(forest, path)) {
-    int lo = rep.num_positions, hi = -1;
-    for (int c : forest.cliques_of(v)) {
-      if (pos[c] != -1) {
-        lo = std::min(lo, pos[c]);
-        hi = std::max(hi, pos[c]);
-      }
-    }
-    rep.vertices.push_back(v);
-    rep.lo.push_back(lo);
-    rep.hi.push_back(hi);
-  }
+  path_intervals(forest, path, scratch, rep);
   return rep;
 }
 
@@ -147,8 +182,8 @@ namespace {
 
 /// far[p] = furthest position reachable by one interval that starts at or
 /// before p; the standard greedy-hop structure for interval-graph distances.
-std::vector<int> far_table(const PathIntervals& rep) {
-  std::vector<int> far(static_cast<std::size_t>(rep.num_positions), -1);
+void far_table(const PathIntervals& rep, std::vector<int>& far) {
+  far.assign(static_cast<std::size_t>(rep.num_positions), -1);
   for (std::size_t i = 0; i < rep.vertices.size(); ++i) {
     far[rep.lo[i]] = std::max(far[rep.lo[i]], rep.hi[i]);
   }
@@ -157,7 +192,6 @@ std::vector<int> far_table(const PathIntervals& rep) {
     best = std::max(best, far[p]);
     far[p] = best;
   }
-  return far;
 }
 
 /// Exact interval-graph distance via greedy hops (-1 if unreachable).
@@ -182,14 +216,15 @@ int interval_distance(const PathIntervals& rep, const std::vector<int>& far,
 }  // namespace
 
 int path_diameter(const Graph& g, const CliqueForest& forest,
-                  const ForestPath& path) {
-  PathIntervals rep = path_intervals(forest, path);
+                  const ForestPath& path, PathScratch& scratch) {
+  path_intervals(forest, path, scratch, scratch.rep);
+  const PathIntervals& rep = scratch.rep;
   if (rep.vertices.size() <= 1) return 0;
   // Diametral pair of a connected interval graph: the interval ending first
   // vs. the interval starting last (verified against all-pairs BFS by the
   // property tests). We additionally take a BFS double sweep on the induced
   // subgraph as a safety net; both are exact on these graphs.
-  std::vector<int> far = far_table(rep);
+  far_table(rep, scratch.far);
   std::size_t a = 0, b = 0;
   for (std::size_t i = 1; i < rep.vertices.size(); ++i) {
     if (rep.hi[i] < rep.hi[a] || (rep.hi[i] == rep.hi[a] && rep.lo[i] < rep.lo[a])) {
@@ -199,28 +234,41 @@ int path_diameter(const Graph& g, const CliqueForest& forest,
       b = i;
     }
   }
-  int by_intervals = interval_distance(rep, far, a, b);
-  Graph induced = g.induced_subgraph(rep.vertices);
-  int by_sweep = diameter_double_sweep(induced);
+  int by_intervals = interval_distance(rep, scratch.far, a, b);
+  int by_sweep = diameter_double_sweep_subset(g, rep.vertices, scratch.sweep);
   return std::max(by_intervals, by_sweep);
 }
 
-int path_independence(const CliqueForest& forest, const ForestPath& path) {
-  PathIntervals rep = path_intervals(forest, path);
-  std::vector<std::size_t> order(rep.vertices.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&rep](std::size_t x, std::size_t y) {
-    return rep.hi[x] < rep.hi[y];
-  });
+int path_diameter(const Graph& g, const CliqueForest& forest,
+                  const ForestPath& path) {
+  thread_local PathScratch scratch;
+  return path_diameter(g, forest, path, scratch);
+}
+
+int path_independence(const CliqueForest& forest, const ForestPath& path,
+                      PathScratch& scratch) {
+  path_intervals(forest, path, scratch, scratch.rep);
+  const PathIntervals& rep = scratch.rep;
+  scratch.order.resize(rep.vertices.size());
+  for (std::size_t i = 0; i < scratch.order.size(); ++i) scratch.order[i] = i;
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&rep](std::size_t x, std::size_t y) {
+              return rep.hi[x] < rep.hi[y];
+            });
   int count = 0;
   int last_hi = -1;
-  for (std::size_t i : order) {
+  for (std::size_t i : scratch.order) {
     if (rep.lo[i] > last_hi) {
       ++count;
       last_hi = rep.hi[i];
     }
   }
   return count;
+}
+
+int path_independence(const CliqueForest& forest, const ForestPath& path) {
+  thread_local PathScratch scratch;
+  return path_independence(forest, path, scratch);
 }
 
 }  // namespace chordal

@@ -1,11 +1,20 @@
 // Maximal binary / pendant / internal paths of the (possibly partially
 // peeled) clique forest, plus the per-path metrics used by the peeling
 // thresholds: diameter (Algorithm 1) and independence number (Algorithm 6).
+//
+// The metric functions come in two forms: a simple allocating form, and a
+// workspace form taking a PathScratch. The workspace form does zero O(n) /
+// O(m) work per call (epoch-stamped relabel/position tables, reused
+// frontier and interval buffers), which is what makes per-layer loops over
+// thousands of paths allocation-lean and embarrassingly parallel (one
+// scratch per worker). Both forms compute identical results.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cliqueforest/forest.hpp"
+#include "graph/diameter.hpp"
 #include "graph/graph.hpp"
 
 namespace chordal {
@@ -59,5 +68,41 @@ int path_diameter(const Graph& g, const CliqueForest& forest,
 
 /// alpha(P): independence number of G[V_P]; exact via the interval model.
 int path_independence(const CliqueForest& forest, const ForestPath& path);
+
+/// Reusable scratch for the per-path metric functions. All tables are
+/// epoch-stamped: marking a path touches only path-sized state, never the
+/// whole forest or graph. One scratch per worker thread; a scratch must not
+/// be shared between concurrent calls.
+class PathScratch {
+ public:
+  /// Grows the stamped tables to the forest's dimensions (no-op once
+  /// sized); called by every metric function.
+  void ensure(const CliqueForest& forest);
+
+  // Internal state (used by the paths.cpp implementations).
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> clique_stamp;  // per clique, epoch of last mark
+  std::vector<int> clique_pos;              // path position, valid if stamped
+  SubsetSweepScratch sweep;                 // ball-free BFS double sweep
+  std::vector<int> far;                     // interval far-table
+  std::vector<std::size_t> order;           // sort permutation
+  std::vector<int> verts;                   // union-vertex buffer
+  PathIntervals rep;                        // reused interval model
+};
+
+/// Workspace forms of the metric functions; identical results, zero
+/// per-call O(n)/O(m) work. Outputs are cleared and reused.
+void path_union_vertices(const CliqueForest& forest, const ForestPath& path,
+                         std::vector<int>& out);
+void path_owned_vertices(const CliqueForest& forest,
+                         const std::vector<char>& active_clique,
+                         const ForestPath& path, PathScratch& scratch,
+                         std::vector<int>& out);
+void path_intervals(const CliqueForest& forest, const ForestPath& path,
+                    PathScratch& scratch, PathIntervals& out);
+int path_diameter(const Graph& g, const CliqueForest& forest,
+                  const ForestPath& path, PathScratch& scratch);
+int path_independence(const CliqueForest& forest, const ForestPath& path,
+                      PathScratch& scratch);
 
 }  // namespace chordal

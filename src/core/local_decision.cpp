@@ -1,16 +1,17 @@
 #include "core/local_decision.hpp"
 
 #include <algorithm>
-#include <map>
+#include <span>
 #include <stdexcept>
 
 #include <string>
 
 #include "cliqueforest/local_view.hpp"
-#include "graph/bfs.hpp"
 #include "graph/diameter.hpp"
+#include "local/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "support/parallel.hpp"
 
 namespace chordal::core {
 
@@ -32,46 +33,81 @@ struct ChainAnalysis {
   int independence = 0;
 };
 
+/// One worker's reusable state for the per-node decision loop: the ball
+/// workspace plus every view-sized buffer analyze_chain needs.
+struct DecisionScratch {
+  local::BallWorkspace ws;
+  LocalView view;
+  SubsetSweepScratch sweep;
+  std::vector<int> adj_off, adj_cursor, adj_list;  // view-forest CSR
+  std::vector<int> family;
+  std::vector<char> in_family, in_chain;
+  std::vector<int> chain;
+  std::vector<int> chain_pos;
+  std::vector<int> cadj0, cadj1;  // chain neighbors (paths have degree <= 2)
+  std::vector<int> union_vertices;
+  std::vector<std::pair<int, int>> ranges;
+};
+
 ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
-                            const std::vector<char>& active) {
+                            const std::vector<char>& active,
+                            DecisionScratch& s) {
   ChainAnalysis analysis;
-  LocalView view = compute_local_view(g, v, radius, &active);
+  local::compute_local_view(g, v, radius, &active, s.ws, s.view);
+  const LocalView& view = s.view;
   const int m = static_cast<int>(view.cliques.size());
-  std::vector<std::vector<int>> adj(static_cast<std::size_t>(m));
+  // View-forest adjacency, flat CSR. Filling edge-by-edge with per-clique
+  // cursors reproduces the push_back order of an adjacency-list build.
+  s.adj_off.assign(static_cast<std::size_t>(m) + 1, 0);
   for (auto [a, b] : view.forest_edges) {
-    adj[a].push_back(b);
-    adj[b].push_back(a);
+    ++s.adj_off[a + 1];
+    ++s.adj_off[b + 1];
   }
-  // Distances within the active subgraph (what the ball actually shows).
-  auto dist = bfs_distances_restricted(g, v, active);
+  for (int c = 0; c < m; ++c) s.adj_off[c + 1] += s.adj_off[c];
+  s.adj_cursor.assign(s.adj_off.begin(), s.adj_off.end() - 1);
+  s.adj_list.resize(2 * view.forest_edges.size());
+  for (auto [a, b] : view.forest_edges) {
+    s.adj_list[s.adj_cursor[a]++] = b;
+    s.adj_list[s.adj_cursor[b]++] = a;
+  }
+  auto adj = [&s](int c) {
+    return std::span<const int>(s.adj_list.data() + s.adj_off[c],
+                                static_cast<std::size_t>(s.adj_off[c + 1] -
+                                                         s.adj_off[c]));
+  };
+  auto adj_size = [&s](int c) { return s.adj_off[c + 1] - s.adj_off[c]; };
+  // Distances within the active subgraph (what the ball actually shows):
+  // every view-clique vertex is a ball member, so the distances recorded
+  // during the ball collection are exactly the restricted BFS distances.
   auto clique_maxdist = [&](int c) {
     int far = 0;
-    for (int u : view.cliques[c]) far = std::max(far, dist[u]);
+    for (int u : view.cliques[c]) far = std::max(far, s.ws.last_ball_dist(u));
     return far;
   };
   auto degree_trusted = [&](int c) { return clique_maxdist(c) <= radius - 2; };
 
   // phi(v) within the view.
-  std::vector<int> family;
+  s.family.clear();
   for (int c = 0; c < m; ++c) {
     if (std::binary_search(view.cliques[c].begin(), view.cliques[c].end(),
                            v)) {
-      family.push_back(c);
+      s.family.push_back(c);
     }
   }
+  const auto& family = s.family;
   // Every clique of T(v) must be binary for v to be removable at all; all
   // of them sit within distance 1 of v, hence degree-trusted.
   for (int c : family) {
-    if (adj[c].size() >= 3) return analysis;
+    if (adj_size(c) >= 3) return analysis;
   }
   analysis.family_binary = true;
 
   // Collect the maximal visible binary chain containing T(v). The family
   // is a subpath; each side walks outward from one family tip along its
   // unique non-family direction.
-  std::vector<char> in_family(static_cast<std::size_t>(m), 0);
-  for (int c : family) in_family[c] = 1;
-  std::vector<int> chain = family;
+  s.in_family.assign(static_cast<std::size_t>(m), 0);
+  for (int c : family) s.in_family[c] = 1;
+  s.chain.assign(family.begin(), family.end());
   ChainEnd ends[2];
   // The family is a subtree of a binary chain, i.e. a subpath, but it is
   // stored in clique-index order: recover its true tips (members with at
@@ -80,19 +116,19 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
   int steps[2] = {-1, -1};
   if (family.size() == 1) {
     std::size_t slot = 0;
-    for (int c : adj[tips[0]]) {
+    for (int c : adj(tips[0])) {
       if (slot < 2) steps[slot++] = c;
     }
   } else {
     int found = 0;
     for (int c : family) {
       int family_neighbors = 0;
-      for (int d : adj[c]) family_neighbors += in_family[d] ? 1 : 0;
+      for (int d : adj(c)) family_neighbors += s.in_family[d] ? 1 : 0;
       if (family_neighbors <= 1 && found < 2) tips[found++] = c;
     }
     for (int side = 0; side < 2; ++side) {
-      for (int c : adj[tips[side]]) {
-        if (!in_family[c]) steps[side] = c;
+      for (int c : adj(tips[side])) {
+        if (!s.in_family[c]) steps[side] = c;
       }
     }
   }
@@ -106,13 +142,13 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
     int prev = tips[side];
     int cur = steps[side];
     for (;;) {
-      if (adj[cur].size() >= 3) {
+      if (adj_size(cur) >= 3) {
         // Visible degrees never overestimate: a real branch vertex, which
         // terminates the maximal binary path (and is not part of it).
         ends[side].kind = EndKind::kBranch;
         break;
       }
-      chain.push_back(cur);
+      s.chain.push_back(cur);
       if (!degree_trusted(cur)) {
         // The view may miss forest edges here; everything farther out is
         // beyond the certainty horizon.
@@ -120,7 +156,7 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
         break;
       }
       int next = -1;
-      for (int c : adj[cur]) {
+      for (int c : adj(cur)) {
         if (c != prev) next = c;
       }
       if (next == -1) {
@@ -131,6 +167,7 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
       cur = next;
     }
   }
+  const auto& chain = s.chain;
 
   analysis.ends[0] = ends[0].kind;
   analysis.ends[1] = ends[1].kind;
@@ -138,7 +175,8 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
   // Diameter and independence number of the visible chain (exact within
   // the active subgraph: the chain union's shortest paths never leave it,
   // cf. path_diameter; independence via the chain's interval model).
-  std::vector<int> union_vertices;
+  auto& union_vertices = s.union_vertices;
+  union_vertices.clear();
   for (int c : chain) {
     union_vertices.insert(union_vertices.end(), view.cliques[c].begin(),
                           view.cliques[c].end());
@@ -147,48 +185,53 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
   union_vertices.erase(
       std::unique(union_vertices.begin(), union_vertices.end()),
       union_vertices.end());
-  Graph induced = g.induced_subgraph(union_vertices);
-  analysis.diameter = diameter_double_sweep(induced);
+  analysis.diameter = diameter_double_sweep_subset(g, union_vertices, s.sweep);
 
   // Independence: order chain cliques along the path; vertex ranges are
   // their clipped clique positions; exact greedy on that interval model.
-  std::map<int, int> chain_pos;
   {
-    // chain = family ++ side walks; recover path order by sorting along
-    // positions: walk from one true end. Simpler: positions via BFS in the
-    // chain's own adjacency (it is a path).
-    std::map<int, std::vector<int>> cadj;
-    std::vector<char> in_chain_set(static_cast<std::size_t>(m), 0);
-    for (int c : chain) in_chain_set[c] = 1;
+    // chain = family ++ side walks; recover path order by walking the
+    // chain's own adjacency from one true end (it is a path, so every
+    // member has at most two chain neighbors).
+    s.in_chain.assign(static_cast<std::size_t>(m), 0);
+    for (int c : chain) s.in_chain[c] = 1;
+    s.cadj0.resize(static_cast<std::size_t>(m));
+    s.cadj1.resize(static_cast<std::size_t>(m));
     for (int c : chain) {
-      for (int d : adj[c]) {
-        if (in_chain_set[d]) cadj[c].push_back(d);
+      int n0 = -1, n1 = -1;
+      for (int d : adj(c)) {
+        if (!s.in_chain[d]) continue;
+        (n0 == -1 ? n0 : n1) = d;
       }
+      s.cadj0[c] = n0;
+      s.cadj1[c] = n1;
     }
     int start = chain.front();
     for (int c : chain) {
-      if (cadj[c].size() <= 1) start = c;
+      int degree = (s.cadj0[c] != -1 ? 1 : 0) + (s.cadj1[c] != -1 ? 1 : 0);
+      if (degree <= 1) start = c;
     }
+    s.chain_pos.resize(static_cast<std::size_t>(m));
     int prev = -1, cur = start, pos = 0;
     while (cur != -1) {
-      chain_pos[cur] = pos++;
+      s.chain_pos[cur] = pos++;
       int next = -1;
-      for (int d : cadj[cur]) {
-        if (d != prev) next = d;
-      }
+      if (s.cadj0[cur] != -1 && s.cadj0[cur] != prev) next = s.cadj0[cur];
+      if (s.cadj1[cur] != -1 && s.cadj1[cur] != prev) next = s.cadj1[cur];
       prev = cur;
       cur = next;
     }
   }
   {
-    std::vector<std::pair<int, int>> ranges;  // (hi, lo) per union vertex
+    auto& ranges = s.ranges;  // (hi, lo) per union vertex
+    ranges.clear();
     for (int u : union_vertices) {
       int lo = static_cast<int>(chain.size()), hi = -1;
       for (int c : chain) {
         if (std::binary_search(view.cliques[c].begin(),
                                view.cliques[c].end(), u)) {
-          lo = std::min(lo, chain_pos[c]);
-          hi = std::max(hi, chain_pos[c]);
+          lo = std::min(lo, s.chain_pos[c]);
+          hi = std::max(hi, s.chain_pos[c]);
         }
       }
       ranges.emplace_back(hi, lo);
@@ -208,8 +251,9 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
 
 /// One node's coloring-mode pruning decision (threshold: diam >= 3k).
 bool decide_locally(const Graph& g, int v, int radius, int k,
-                    const std::vector<char>& active, bool* used_horizon) {
-  ChainAnalysis a = analyze_chain(g, v, radius, active);
+                    const std::vector<char>& active, bool* used_horizon,
+                    DecisionScratch& scratch) {
+  ChainAnalysis a = analyze_chain(g, v, radius, active, scratch);
   if (!a.family_binary) return false;
   if (a.ends[0] == EndKind::kLeaf || a.ends[1] == EndKind::kLeaf) return true;
   if (a.ends[0] == EndKind::kHorizon || a.ends[1] == EndKind::kHorizon) {
@@ -224,8 +268,9 @@ bool decide_locally(const Graph& g, int v, int radius, int k,
 /// One node's MIS-mode pruning decision: pendant always; internal paths by
 /// diam >= 2d+3 (early iterations) or alpha >= d (the final iteration).
 bool decide_locally_mis(const Graph& g, int v, int radius, int d,
-                        bool last_round, const std::vector<char>& active) {
-  ChainAnalysis a = analyze_chain(g, v, radius, active);
+                        bool last_round, const std::vector<char>& active,
+                        DecisionScratch& scratch) {
+  ChainAnalysis a = analyze_chain(g, v, radius, active, scratch);
   if (!a.family_binary) return false;
   if (a.ends[0] == EndKind::kLeaf || a.ends[1] == EndKind::kLeaf) return true;
   if (a.ends[0] == EndKind::kHorizon || a.ends[1] == EndKind::kHorizon) {
@@ -250,6 +295,9 @@ PeelingResult peel_with_local_decisions(const Graph& g,
                                   1);
   int remaining = g.num_vertices();
   int iteration_cap = 4 * (32 - __builtin_clz(std::max(2, g.num_vertices())));
+  // One reusable scratch per worker, warm across all iterations.
+  std::vector<DecisionScratch> scratch(
+      static_cast<std::size_t>(support::num_threads()));
 
   for (int iter = 1; remaining > 0; ++iter) {
     if (iter > iteration_cap) {
@@ -267,17 +315,30 @@ PeelingResult peel_with_local_decisions(const Graph& g,
     result.high_degree_counts.push_back(high_degree);
     result.active_at.push_back(active_clique);
 
-    // Every active node decides independently from its own ball.
+    // Every active node decides independently from its own ball: the
+    // canonical embarrassingly-parallel LOCAL loop. Workers own disjoint
+    // contiguous index ranges (see support/parallel.hpp), write disjoint
+    // removed[] slots, and count views per worker; merging the counts in
+    // worker order keeps telemetry identical at any thread count.
     obs::Span view_span("Lemma 2 local views, iter " + std::to_string(iter));
-    std::int64_t views_computed = 0;
     std::vector<char> removed(static_cast<std::size_t>(g.num_vertices()), 0);
-    for (int v = 0; v < g.num_vertices(); ++v) {
-      if (!active_vertex[v]) continue;
-      ++views_computed;
-      if (decide_locally(g, v, radius, k, active_vertex, nullptr)) {
-        removed[v] = 1;
-      }
-    }
+    std::vector<std::int64_t> worker_views(
+        static_cast<std::size_t>(support::num_threads()), 0);
+    support::parallel_for_ranges(
+        static_cast<std::size_t>(g.num_vertices()),
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          DecisionScratch& s = scratch[worker];
+          for (std::size_t i = begin; i < end; ++i) {
+            int v = static_cast<int>(i);
+            if (!active_vertex[v]) continue;
+            ++worker_views[worker];
+            if (decide_locally(g, v, radius, k, active_vertex, nullptr, s)) {
+              removed[v] = 1;
+            }
+          }
+        });
+    std::int64_t views_computed = 0;
+    for (std::int64_t count : worker_views) views_computed += count;
     if (view_span.live()) {
       // Each decision floods a Gamma^{10k} ball: radius rounds, one 1-word
       // heartbeat per neighbor per round (exact volumes are histogrammed by
@@ -345,19 +406,34 @@ LocalDecisionAudit audit_local_pruning(const Graph& g,
   (void)forest;
   LocalDecisionAudit audit;
   const int radius = 10 * k;
+  std::vector<DecisionScratch> scratch(
+      static_cast<std::size_t>(support::num_threads()));
   for (int iter = 1; iter <= peeling.num_layers; ++iter) {
     std::vector<char> active(static_cast<std::size_t>(g.num_vertices()), 0);
     for (int u = 0; u < g.num_vertices(); ++u) {
       active[u] = peeling.layer_of[u] >= iter ? 1 : 0;
     }
+    std::vector<int> candidates;
     for (int v = 0; v < g.num_vertices(); v += std::max(1, stride)) {
-      if (!active[v]) continue;
-      bool horizon = false;
-      bool removed_locally = decide_locally(g, v, radius, k, active,
-                                            &horizon);
+      if (active[v]) candidates.push_back(v);
+    }
+    std::vector<char> local(candidates.size(), 0), horizon(candidates.size(),
+                                                           0);
+    support::parallel_for(
+        candidates.size(), [&](std::size_t i, std::size_t worker) {
+          bool hit = false;
+          local[i] = decide_locally(g, candidates[i], radius, k, active, &hit,
+                                    scratch[worker])
+                         ? 1
+                         : 0;
+          horizon[i] = hit ? 1 : 0;
+        });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      int v = candidates[i];
+      bool removed_locally = local[i] != 0;
       bool removed_globally = peeling.layer_of[v] == iter;
       ++audit.decisions_checked;
-      if (horizon) ++audit.horizon_hits;
+      if (horizon[i]) ++audit.horizon_hits;
       if (removed_locally != removed_globally) {
         ++audit.mismatches;
 #ifdef CHORDAL_AUDIT_TRACE
@@ -378,6 +454,8 @@ LocalDecisionAudit audit_local_pruning_mis(const Graph& g,
   (void)forest;
   LocalDecisionAudit audit;
   const int radius = 4 * d + 10;
+  std::vector<DecisionScratch> scratch(
+      static_cast<std::size_t>(support::num_threads()));
   for (int iter = 1; iter <= peeling.num_layers; ++iter) {
     bool last_round = iter == peeling.num_layers;
     std::vector<char> active(static_cast<std::size_t>(g.num_vertices()), 0);
@@ -385,11 +463,21 @@ LocalDecisionAudit audit_local_pruning_mis(const Graph& g,
       active[u] =
           (peeling.layer_of[u] == 0 || peeling.layer_of[u] >= iter) ? 1 : 0;
     }
+    std::vector<int> candidates;
     for (int v = 0; v < g.num_vertices(); v += std::max(1, stride)) {
-      if (!active[v]) continue;
-      bool removed_locally =
-          decide_locally_mis(g, v, radius, d, last_round, active);
-      bool removed_globally = peeling.layer_of[v] == iter;
+      if (active[v]) candidates.push_back(v);
+    }
+    std::vector<char> local(candidates.size(), 0);
+    support::parallel_for(
+        candidates.size(), [&](std::size_t i, std::size_t worker) {
+          local[i] = decide_locally_mis(g, candidates[i], radius, d,
+                                        last_round, active, scratch[worker])
+                         ? 1
+                         : 0;
+        });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      bool removed_locally = local[i] != 0;
+      bool removed_globally = peeling.layer_of[candidates[i]] == iter;
       ++audit.decisions_checked;
       if (removed_locally != removed_globally) ++audit.mismatches;
     }

@@ -10,6 +10,7 @@
 #include "interval/offline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "support/parallel.hpp"
 
 namespace chordal::core {
 
@@ -91,8 +92,29 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
       layer_span.add_messages(messages, messages);
     }
     std::int64_t layer_mis_rounds = 0;
-    for (const auto& lp : layer) {
-      PathIntervals full = path_intervals(forest, lp.path);
+    // Distinct paths of one layer are non-adjacent (Lemma 11): a pick in
+    // one path never blocks a vertex of another path of the same layer, so
+    // every path's component solves run in parallel against the pre-layer
+    // blocked state. The in_set/blocked updates (and the conflict tripwire)
+    // are applied sequentially afterwards, in the original path order.
+    struct PathOutcome {
+      std::vector<std::vector<int>> picked_by_comp;  // global ids, pick order
+      int absorbing = 0;
+      int approx = 0;
+      std::int64_t mis_rounds = 0;
+      std::int64_t msg_count = 0;
+      std::int64_t msg_words = 0;
+    };
+    std::vector<PathOutcome> outcomes(layer.size());
+    std::vector<PathScratch> scratch(
+        static_cast<std::size_t>(support::num_threads()));
+    support::parallel_for(layer.size(), [&](std::size_t pi,
+                                            std::size_t worker) {
+      const auto& lp = layer[pi];
+      PathOutcome& out = outcomes[pi];
+      PathScratch& ps = scratch[worker];
+      path_intervals(forest, lp.path, ps, ps.rep);
+      const PathIntervals& full = ps.rep;
       // Eligible = owned vertices with no neighbor already chosen.
       std::vector<std::size_t> eligible;
       for (std::size_t i = 0; i < full.vertices.size(); ++i) {
@@ -102,7 +124,7 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
           eligible.push_back(i);
         }
       }
-      if (eligible.empty()) continue;
+      if (eligible.empty()) return;
       PathIntervals model = interval::restrict(full, eligible);
 
       for (const auto& comp : model_components(model)) {
@@ -114,13 +136,13 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
           for (std::size_t i = 0; i < sub.vertices.size(); ++i) {
             congestion[sub.vertices[i]] += model_words;
           }
-          obs::Span::charge_messages(
-              static_cast<std::int64_t>(sub.vertices.size()),
-              static_cast<std::int64_t>(sub.vertices.size()) * model_words);
+          out.msg_count += static_cast<std::int64_t>(sub.vertices.size());
+          out.msg_words +=
+              static_cast<std::int64_t>(sub.vertices.size()) * model_words;
         }
         std::vector<std::size_t> picked_local;
         if (interval::alpha(sub) < result.d) {
-          ++result.absorbing_components;
+          ++out.absorbing;
           // Attachment side: the component touches the left (right) end
           // clique of the path iff some member covers the first (last)
           // position; an attachment exists there iff the path has one.
@@ -137,26 +159,40 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
             side = interval::AttachSide::kRight;
           }
           picked_local = interval::absorbing_mis(sub, side);
-          layer_mis_rounds = std::max<std::int64_t>(layer_mis_rounds,
-                                                    2 * result.d + 3);
+          out.mis_rounds = std::max<std::int64_t>(out.mis_rounds,
+                                                  2 * result.d + 3);
         } else {
-          ++result.approx_components;
+          ++out.approx;
           auto res = interval::approx_mis_interval(sub, options.eps / 8.0);
           picked_local = std::move(res.chosen);
-          layer_mis_rounds = std::max(layer_mis_rounds, res.rounds);
+          out.mis_rounds = std::max(out.mis_rounds, res.rounds);
         }
-        for (std::size_t i : picked_local) {
-          int v = sub.vertices[i];
+        auto& picks = out.picked_by_comp.emplace_back();
+        picks.reserve(picked_local.size());
+        for (std::size_t i : picked_local) picks.push_back(sub.vertices[i]);
+      }
+    });
+    std::int64_t layer_msg_count = 0, layer_msg_words = 0;
+    for (const PathOutcome& out : outcomes) {
+      result.absorbing_components += out.absorbing;
+      result.approx_components += out.approx;
+      layer_mis_rounds = std::max(layer_mis_rounds, out.mis_rounds);
+      layer_msg_count += out.msg_count;
+      layer_msg_words += out.msg_words;
+      for (const auto& picks : out.picked_by_comp) {
+        for (int v : picks) {
           if (blocked[v] || in_set[v]) {
             throw std::logic_error("mis_chordal: conflicting pick");
           }
           in_set[v] = 1;
         }
-        for (std::size_t i : picked_local) {
-          int v = sub.vertices[i];
+        for (int v : picks) {
           for (int w : g.neighbors(v)) blocked[w] = 1;
         }
       }
+    }
+    if (telemetry && layer_msg_count > 0) {
+      obs::Span::charge_messages(layer_msg_count, layer_msg_words);
     }
     result.rounds += ball_rounds + layer_mis_rounds;
     layer_span.set_rounds(ball_rounds + layer_mis_rounds);

@@ -12,6 +12,7 @@
 #include "local/ball.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "support/parallel.hpp"
 
 namespace chordal::core {
 
@@ -161,67 +162,113 @@ struct Engine {
     }
   }
 
+  /// Per-worker accumulators for the parallel phases. Owned vertex sets of
+  /// distinct (layer, path) units are disjoint, so colors/clock/congestion
+  /// writes race-free by construction; everything else accumulates here and
+  /// merges in worker order after the region (all integer sums/maxima, so
+  /// the merged totals are independent of the thread count).
+  struct WorkerTally {
+    PathScratch scratch;
+    PathIntervals full;
+    std::int64_t palette_violations = 0;
+    std::int64_t recolored = 0;
+    std::int64_t msg_count = 0;
+    std::int64_t msg_words = 0;
+  };
+
   /// Phase 2: every layer is an interval graph (one clique path per peeled
   /// path, Lemma 7); color each path's owned set independently - distinct
-  /// paths of one layer are non-adjacent (Lemma 11).
+  /// paths of one layer are non-adjacent (Lemma 11), and owned sets across
+  /// layers are disjoint, so every unit runs in parallel.
   void color_layers() {
+    std::vector<const LayerPath*> units;
     for (const auto& layer : peeling.layers) {
       for (const auto& lp : layer) {
-        if (lp.owned.empty()) continue;
-        PathIntervals full = path_intervals(forest, lp.path);
-        std::vector<std::size_t> owned_idx;
-        std::vector<char> is_owned(full.vertices.size(), 0);
-        for (std::size_t i = 0; i < full.vertices.size(); ++i) {
-          if (std::binary_search(lp.owned.begin(), lp.owned.end(),
-                                 full.vertices[i])) {
-            owned_idx.push_back(i);
-            is_owned[i] = 1;
-          }
-        }
-        PathIntervals mine = interval::restrict(full, owned_idx);
-        std::int64_t spent = 0;
-        std::vector<int> colors;
-        if (options.layer_coloring == LayerColoringMode::kColIntGraph) {
-          auto res = interval::col_int_graph(mine, result.k);
-          colors = std::move(res.colors);
-          result.palette_violations += res.palette_violations;
-          spent = res.rounds;
-        } else {
-          colors = interval::color_optimal(mine);
-          spent = 1;
-        }
-        for (std::size_t i = 0; i < mine.vertices.size(); ++i) {
-          result.colors[mine.vertices[i]] = colors[i];
-          clock[mine.vertices[i]] += spent;
-        }
-        if (telemetry) {
-          // Each owned vertex learns its path's full interval model (two
-          // words per interval) to run the coloring subroutine.
-          auto model_words = static_cast<std::int64_t>(2 * full.vertices.size());
-          for (std::size_t i = 0; i < mine.vertices.size(); ++i) {
-            congestion[mine.vertices[i]] += model_words;
-          }
-          obs::Span::charge_messages(
-              static_cast<std::int64_t>(mine.vertices.size()),
-              static_cast<std::int64_t>(mine.vertices.size()) * model_words);
-        }
+        if (!lp.owned.empty()) units.push_back(&lp);
       }
     }
+    std::vector<WorkerTally> tally(
+        static_cast<std::size_t>(support::num_threads()));
+    support::parallel_for(
+        units.size(), [&](std::size_t idx, std::size_t worker) {
+          WorkerTally& t = tally[worker];
+          const LayerPath& lp = *units[idx];
+          path_intervals(forest, lp.path, t.scratch, t.full);
+          const PathIntervals& full = t.full;
+          std::vector<std::size_t> owned_idx;
+          for (std::size_t i = 0; i < full.vertices.size(); ++i) {
+            if (std::binary_search(lp.owned.begin(), lp.owned.end(),
+                                   full.vertices[i])) {
+              owned_idx.push_back(i);
+            }
+          }
+          PathIntervals mine = interval::restrict(full, owned_idx);
+          std::int64_t spent = 0;
+          std::vector<int> colors;
+          if (options.layer_coloring == LayerColoringMode::kColIntGraph) {
+            auto res = interval::col_int_graph(mine, result.k);
+            colors = std::move(res.colors);
+            t.palette_violations += res.palette_violations;
+            spent = res.rounds;
+          } else {
+            colors = interval::color_optimal(mine);
+            spent = 1;
+          }
+          for (std::size_t i = 0; i < mine.vertices.size(); ++i) {
+            result.colors[mine.vertices[i]] = colors[i];
+            clock[mine.vertices[i]] += spent;
+          }
+          if (telemetry) {
+            // Each owned vertex learns its path's full interval model (two
+            // words per interval) to run the coloring subroutine.
+            auto model_words =
+                static_cast<std::int64_t>(2 * full.vertices.size());
+            for (std::size_t i = 0; i < mine.vertices.size(); ++i) {
+              congestion[mine.vertices[i]] += model_words;
+            }
+            t.msg_count += static_cast<std::int64_t>(mine.vertices.size());
+            t.msg_words += static_cast<std::int64_t>(mine.vertices.size()) *
+                           model_words;
+          }
+        });
+    merge_tallies(tally);
   }
 
   /// Phase 3: descending over layers, resolve conflicts between each path's
-  /// owned set W and its already-final neighbors W' (Lemmas 8-10).
+  /// owned set W and its already-final neighbors W' (Lemmas 8-10). Layers
+  /// stay sequential (higher layers must be final first); paths within one
+  /// layer correct in parallel - a window only reads same-layer state of its
+  /// own path plus higher-layer colors, never another path's owned set.
   void correct_layers() {
+    std::vector<WorkerTally> tally(
+        static_cast<std::size_t>(support::num_threads()));
     for (int layer = result.num_layers - 1; layer >= 1; --layer) {
-      for (const auto& lp : peeling.layers[static_cast<std::size_t>(layer) -
-                                           1]) {
-        correct_path(lp);
-      }
+      const auto& paths =
+          peeling.layers[static_cast<std::size_t>(layer) - 1];
+      support::parallel_for(paths.size(),
+                            [&](std::size_t i, std::size_t worker) {
+                              correct_path(paths[i], tally[worker]);
+                            });
+    }
+    merge_tallies(tally);
+  }
+
+  void merge_tallies(const std::vector<WorkerTally>& tally) {
+    std::int64_t msg_count = 0, msg_words = 0;
+    for (const WorkerTally& t : tally) {
+      result.palette_violations += static_cast<int>(t.palette_violations);
+      result.recolored_vertices += static_cast<int>(t.recolored);
+      msg_count += t.msg_count;
+      msg_words += t.msg_words;
+    }
+    if (telemetry && msg_count > 0) {
+      obs::Span::charge_messages(msg_count, msg_words);
     }
   }
 
-  void correct_path(const LayerPath& lp) {
-    PathIntervals full = path_intervals(forest, lp.path);
+  void correct_path(const LayerPath& lp, WorkerTally& t) {
+    path_intervals(forest, lp.path, t.scratch, t.full);
+    const PathIntervals& full = t.full;
     const std::size_t n = full.vertices.size();
     std::vector<char> is_owned(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -285,7 +332,7 @@ struct Engine {
         break;
       }
       ++problem.palette;  // Lemma 10 says unreachable; tracked tripwire.
-      ++result.palette_violations;
+      ++t.palette_violations;
       if (problem.palette > 3 * result.omega + 3) {
         throw std::logic_error("mvc: correction window unsolvable");
       }
@@ -299,7 +346,7 @@ struct Engine {
     std::int64_t done = ready + result.k + 7;
     for (std::size_t w : free_local) {
       int v = full.vertices[window[w]];
-      if (result.colors[v] != solved[w]) ++result.recolored_vertices;
+      if (result.colors[v] != solved[w]) ++t.recolored;
       result.colors[v] = solved[w];
       clock[v] = std::max(clock[v], done);
     }
@@ -310,9 +357,9 @@ struct Engine {
       for (std::size_t w : free_local) {
         congestion[full.vertices[window[w]]] += window_words;
       }
-      obs::Span::charge_messages(
-          static_cast<std::int64_t>(free_local.size()),
-          static_cast<std::int64_t>(free_local.size()) * window_words);
+      t.msg_count += static_cast<std::int64_t>(free_local.size());
+      t.msg_words +=
+          static_cast<std::int64_t>(free_local.size()) * window_words;
     }
   }
 

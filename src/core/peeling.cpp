@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/span.hpp"
+#include "support/parallel.hpp"
 
 namespace chordal::core {
 
@@ -31,6 +32,9 @@ PeelingResult peel(const Graph& g, const CliqueForest& forest,
                 ? 2 * static_cast<int>(std::ceil(std::log2(
                           std::max(2, g.num_vertices())))) + 4
                 : config.max_iterations;
+  // One metric scratch per worker, warm across all iterations.
+  std::vector<PathScratch> scratch(
+      static_cast<std::size_t>(support::num_threads()));
 
   for (int iter = 1; active_count > 0 && iter <= cap; ++iter) {
     obs::Span layer_span("peel layer " + std::to_string(iter));
@@ -45,22 +49,39 @@ PeelingResult peel(const Graph& g, const CliqueForest& forest,
 
     bool last_mis_round = config.mode == PeelMode::kIndependentSet &&
                           iter == config.max_iterations;
+    // Paths of one iteration are independent: evaluate every threshold
+    // metric in parallel (one PathScratch per worker), then assemble the
+    // taken list sequentially in path order.
+    auto paths = maximal_binary_paths(forest, active);
+    std::vector<char> selected(paths.size(), 0);
+    std::vector<std::vector<int>> owned(paths.size());
+    support::parallel_for(
+        paths.size(), [&](std::size_t i, std::size_t worker) {
+          const ForestPath& path = paths[i];
+          bool take;
+          if (path.pendant) {
+            take = true;
+          } else if (config.mode == PeelMode::kColoring) {
+            take = path_diameter(g, forest, path, scratch[worker]) >=
+                   3 * config.k;
+          } else if (last_mis_round) {
+            take = path_independence(forest, path, scratch[worker]) >=
+                   config.d;
+          } else {
+            take = path_diameter(g, forest, path, scratch[worker]) >=
+                   2 * config.d + 3;
+          }
+          if (!take) return;
+          selected[i] = 1;
+          path_owned_vertices(forest, active, path, scratch[worker],
+                              owned[i]);
+        });
     std::vector<LayerPath> taken;
-    for (auto& path : maximal_binary_paths(forest, active)) {
-      bool selected;
-      if (path.pendant) {
-        selected = true;
-      } else if (config.mode == PeelMode::kColoring) {
-        selected = path_diameter(g, forest, path) >= 3 * config.k;
-      } else if (last_mis_round) {
-        selected = path_independence(forest, path) >= config.d;
-      } else {
-        selected = path_diameter(g, forest, path) >= 2 * config.d + 3;
-      }
-      if (!selected) continue;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      if (!selected[i]) continue;
       LayerPath lp;
-      lp.owned = path_owned_vertices(forest, active, path);
-      lp.path = std::move(path);
+      lp.owned = std::move(owned[i]);
+      lp.path = std::move(paths[i]);
       taken.push_back(std::move(lp));
     }
 

@@ -1,6 +1,5 @@
 #include "graph/bfs.hpp"
 
-#include <queue>
 #include <stdexcept>
 
 namespace chordal {
@@ -11,7 +10,11 @@ std::vector<int> bfs_impl(const Graph& g, std::span<const int> sources,
                           const std::vector<char>* active, int radius_limit,
                           std::vector<int>* order) {
   std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
-  std::queue<int> queue;
+  // Flat frontier: every vertex enters at most once, so a plain vector with
+  // a read cursor replaces the deque (no per-block allocation, and the
+  // visit sequence doubles as the BFS order).
+  std::vector<int> queue;
+  queue.reserve(sources.size());
   for (int s : sources) {
     if (s < 0 || s >= g.num_vertices()) {
       throw std::out_of_range("bfs: source out of range");
@@ -21,19 +24,18 @@ std::vector<int> bfs_impl(const Graph& g, std::span<const int> sources,
     }
     if (dist[s] == -1) {
       dist[s] = 0;
-      queue.push(s);
+      queue.push_back(s);
       if (order != nullptr) order->push_back(s);
     }
   }
-  while (!queue.empty()) {
-    int u = queue.front();
-    queue.pop();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    int u = queue[head];
     if (radius_limit >= 0 && dist[u] >= radius_limit) continue;
     for (int w : g.neighbors(u)) {
       if (dist[w] != -1) continue;
       if (active != nullptr && !(*active)[w]) continue;
       dist[w] = dist[u] + 1;
-      queue.push(w);
+      queue.push_back(w);
       if (order != nullptr) order->push_back(w);
     }
   }

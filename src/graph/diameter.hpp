@@ -7,6 +7,7 @@
 // property tests (exact on the connected interval graphs we feed it).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -24,5 +25,27 @@ int diameter_double_sweep(const Graph& g, int seed = 0);
 
 /// Eccentricity of v (max distance to any vertex; requires connectivity).
 int eccentricity(const Graph& g, int v);
+
+/// Reusable scratch for diameter_double_sweep_subset. Epoch-stamped, so a
+/// call touches only subset-sized state; one scratch per worker thread.
+class SubsetSweepScratch {
+ public:
+  /// Grows the stamped tables to the host graph size (no-op once sized).
+  void ensure(int num_vertices);
+
+  // Internal state (used by diameter.cpp).
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> member_stamp;  // subset membership epoch
+  std::vector<std::uint64_t> visit_stamp;   // BFS visit epoch
+  std::vector<int> dist;                    // BFS distance, valid if stamped
+  std::vector<int> frontier;                // flat BFS queue
+};
+
+/// diameter_double_sweep of G[verts] without materializing the induced
+/// subgraph; `verts` must be sorted ascending, so the sweep's farthest-
+/// vertex tie-breaks match the induced form exactly (local index order ==
+/// ascending vertex order). Throws if G[verts] is not connected.
+int diameter_double_sweep_subset(const Graph& g, const std::vector<int>& verts,
+                                 SubsetSweepScratch& scratch);
 
 }  // namespace chordal

@@ -54,6 +54,17 @@ Graph Graph::induced_subgraph(std::span<const int> vertices,
   return builder.build();
 }
 
+void Graph::assign_csr(int n, std::span<const int> offsets,
+                       std::span<const int> adj) {
+  if (static_cast<int>(offsets.size()) != n + 1) {
+    throw std::invalid_argument("assign_csr: offsets size mismatch");
+  }
+  n_ = n;
+  edge_count_ = adj.size() / 2;
+  offsets_.assign(offsets.begin(), offsets.end());
+  adj_.assign(adj.begin(), adj.end());
+}
+
 std::string Graph::summary() const {
   return "Graph(n=" + std::to_string(n_) + ", m=" + std::to_string(edge_count_) +
          ")";

@@ -46,6 +46,13 @@ class Graph {
   Graph induced_subgraph(std::span<const int> vertices,
                          std::vector<int>* original_of = nullptr) const;
 
+  /// Rebuilds this graph in place from a compressed adjacency the caller
+  /// assembled directly (offsets of size n+1; each neighbor list sorted
+  /// ascending, symmetric, loop-free - unchecked). Reuses the existing
+  /// storage, so hot paths can rebuild ball subgraphs without allocating.
+  void assign_csr(int n, std::span<const int> offsets,
+                  std::span<const int> adj);
+
   /// Human-readable one-line summary, e.g. "Graph(n=23, m=31)".
   std::string summary() const;
 

@@ -81,6 +81,11 @@ class Network {
   const Graph* graph_;
   std::vector<std::vector<Message>> inboxes_;
   std::vector<std::vector<std::pair<int, Message>>> pending_;  // per recipient batches
+  // Recipients with queued traffic this round, deduplicated at send time.
+  // deliver() walks only this list (plus last round's non-empty inboxes),
+  // so a quiet round costs O(active senders) instead of O(n).
+  std::vector<int> dirty_;
+  std::vector<int> live_inboxes_;  // recipients whose inbox is non-empty
   int rounds_ = 0;
   NetworkStats stats_;
   mutable bool published_ = false;

@@ -1,0 +1,218 @@
+#include "local/workspace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cliqueforest/wcig.hpp"
+#include "graph/cliques.hpp"
+#include "obs/span.hpp"
+#include "support/union_find.hpp"
+
+namespace chordal::local {
+
+void BallWorkspace::ensure(const Graph& g) {
+  auto n = static_cast<std::size_t>(g.num_vertices());
+  if (visit_stamp.size() < n) {
+    visit_stamp.resize(n, 0);
+    local_id.resize(n, 0);
+  }
+}
+
+namespace {
+
+/// Radius-limited BFS + induced-CSR assembly; fills out.vertices (BFS
+/// order), out.dist and out.graph exactly as the allocating collect_ball
+/// does, but touches only ball-sized state. No ledger, no telemetry.
+void collect_ball_core(const Graph& g, int center, int radius,
+                       const std::vector<char>* active, BallWorkspace& ws,
+                       Ball& out) {
+  ws.ensure(g);
+  if (center < 0 || center >= g.num_vertices()) {
+    throw std::out_of_range("bfs: source out of range");
+  }
+  if (active != nullptr && !(*active)[center]) {
+    throw std::invalid_argument("bfs: inactive source");
+  }
+  const std::uint64_t visit = ++ws.epoch;
+  out.vertices.clear();
+  out.dist.clear();
+  ws.visit_stamp[center] = visit;
+  ws.local_id[center] = 0;
+  out.vertices.push_back(center);
+  out.dist.push_back(0);
+  for (std::size_t head = 0; head < out.vertices.size(); ++head) {
+    int u = out.vertices[head];
+    int du = out.dist[head];
+    if (radius >= 0 && du >= radius) continue;
+    for (int w : g.neighbors(u)) {
+      if (ws.visit_stamp[w] == visit) continue;
+      if (active != nullptr && !(*active)[w]) continue;
+      ws.visit_stamp[w] = visit;
+      ws.local_id[w] = static_cast<int>(out.vertices.size());
+      out.vertices.push_back(w);
+      out.dist.push_back(du + 1);
+    }
+  }
+  // Induced subgraph in ball-local ids. Neighbor lists sorted ascending by
+  // local id, matching Graph::induced_subgraph via GraphBuilder.
+  const int k = static_cast<int>(out.vertices.size());
+  ws.offsets.assign(static_cast<std::size_t>(k) + 1, 0);
+  for (int i = 0; i < k; ++i) {
+    for (int w : g.neighbors(out.vertices[i])) {
+      if (ws.visit_stamp[w] == visit) ++ws.offsets[i + 1];
+    }
+  }
+  for (int i = 0; i < k; ++i) ws.offsets[i + 1] += ws.offsets[i];
+  ws.adj.resize(static_cast<std::size_t>(ws.offsets[k]));
+  for (int i = 0; i < k; ++i) {
+    int cursor = ws.offsets[i];
+    for (int w : g.neighbors(out.vertices[i])) {
+      if (ws.visit_stamp[w] == visit) ws.adj[cursor++] = ws.local_id[w];
+    }
+    std::sort(ws.adj.begin() + ws.offsets[i], ws.adj.begin() + cursor);
+  }
+  out.graph.assign_csr(k, ws.offsets, ws.adj);
+}
+
+}  // namespace
+
+void collect_ball(const Graph& g, int center, int radius,
+                  const std::vector<char>* active, RoundLedger* ledger,
+                  BallWorkspace& ws, Ball& out) {
+  collect_ball_core(g, center, radius, active, ws, out);
+  if (ledger != nullptr) ledger->charge(center, radius);
+  auto words = static_cast<std::int64_t>(out.vertices.size() +
+                                         2 * out.graph.num_edges());
+  if (obs::Registry* reg = obs::current()) {
+    reg->counter("ball.collections").add(1);
+    reg->histogram("ball.volume_words").add(static_cast<double>(words));
+    obs::Span::charge_rounds(radius);
+    obs::Span::charge_messages(static_cast<std::int64_t>(out.vertices.size()),
+                               words);
+  } else if (ws.obs_active) {
+    ws.obs.add_counter("ball.collections", 1);
+    ws.obs.add_histogram("ball.volume_words", static_cast<double>(words));
+    ws.obs.charge_rounds(radius);
+    ws.obs.charge_messages(static_cast<std::int64_t>(out.vertices.size()),
+                           words);
+  }
+}
+
+namespace {
+
+int intersection_size(const std::vector<int>& a, const std::vector<int>& b) {
+  int weight = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++weight;
+      ++i;
+      ++j;
+    }
+  }
+  return weight;
+}
+
+}  // namespace
+
+void compute_local_view(const Graph& g, int observer, int radius,
+                        const std::vector<char>* active, BallWorkspace& ws,
+                        LocalView& out) {
+  if (radius < 1) throw std::invalid_argument("local view: radius < 1");
+  collect_ball_core(g, observer, radius, active, ws, ws.ball);
+  const Ball& ball = ws.ball;
+
+  // Maximal cliques of the ball graph containing a vertex at distance
+  // <= radius-1 are maximal cliques of G (see cliqueforest/local_view.cpp,
+  // the allocating reference implementation of this function).
+  auto local_cliques = maximal_cliques_chordal(ball.graph);
+  out.cliques.clear();
+  out.forest_edges.clear();
+  out.trusted_vertices.clear();
+  for (auto& clique : local_cliques) {
+    bool trusted = false;
+    for (int lv : clique) trusted = trusted || ball.dist[lv] <= radius - 1;
+    if (!trusted) continue;
+    for (int& lv : clique) lv = ball.vertices[lv];
+    std::sort(clique.begin(), clique.end());
+    out.cliques.push_back(std::move(clique));
+  }
+  std::sort(out.cliques.begin(), out.cliques.end());
+
+  // Flat phi index: (vertex, clique) pairs sorted by vertex then clique,
+  // giving each family in increasing clique-index order.
+  ws.phi_pairs.clear();
+  for (std::size_t c = 0; c < out.cliques.size(); ++c) {
+    for (int v : out.cliques[c]) {
+      ws.phi_pairs.emplace_back(v, static_cast<int>(c));
+    }
+  }
+  std::sort(ws.phi_pairs.begin(), ws.phi_pairs.end());
+
+  for (std::size_t lv = 0; lv < ball.vertices.size(); ++lv) {
+    if (ball.dist[lv] <= radius - 1) {
+      out.trusted_vertices.push_back(ball.vertices[lv]);
+    }
+  }
+  std::sort(out.trusted_vertices.begin(), out.trusted_vertices.end());
+
+  // For each trusted u, Kruskal on the W-edges of phi(u). Every clique of
+  // the family contains u, so the family's intersection graph is complete:
+  // the pairwise edges can be enumerated directly, with no global
+  // membership table. The paper's total order on edges (weight, then the
+  // cliques' sorted ID words) makes the result identical to
+  // max_weight_spanning_forest on the same family.
+  auto& edges_out = out.forest_edges;
+  std::size_t p = 0;
+  const auto& cliques = out.cliques;
+  for (int u : out.trusted_vertices) {
+    while (p < ws.phi_pairs.size() && ws.phi_pairs[p].first < u) ++p;
+    ws.family.clear();
+    while (p < ws.phi_pairs.size() && ws.phi_pairs[p].first == u) {
+      ws.family.push_back(ws.phi_pairs[p].second);
+      ++p;
+    }
+    const auto& family = ws.family;
+    if (family.size() < 2) continue;
+    std::vector<WcigEdge> edges;
+    edges.reserve(family.size() * (family.size() - 1) / 2);
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      for (std::size_t j = i + 1; j < family.size(); ++j) {
+        edges.push_back({static_cast<int>(i), static_cast<int>(j),
+                         intersection_size(cliques[family[i]],
+                                           cliques[family[j]])});
+      }
+    }
+    auto word = [&](int family_local) -> const std::vector<int>& {
+      return cliques[family[family_local]];
+    };
+    std::sort(edges.begin(), edges.end(),
+              [&word](const WcigEdge& e, const WcigEdge& f) {
+                // Decreasing in the paper's order (see wcig_edge_less).
+                if (e.weight != f.weight) return e.weight > f.weight;
+                const auto& el = std::min(word(e.a), word(e.b));
+                const auto& eh = std::max(word(e.a), word(e.b));
+                const auto& fl = std::min(word(f.a), word(f.b));
+                const auto& fh = std::max(word(f.a), word(f.b));
+                if (el != fl) return fl < el;
+                return fh < eh;
+              });
+    UnionFind uf(static_cast<int>(family.size()));
+    for (const auto& e : edges) {
+      if (uf.unite(e.a, e.b)) {
+        int a = family[e.a];
+        int b = family[e.b];
+        edges_out.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+  std::sort(edges_out.begin(), edges_out.end());
+  edges_out.erase(std::unique(edges_out.begin(), edges_out.end()),
+                  edges_out.end());
+}
+
+}  // namespace chordal::local

@@ -1,0 +1,186 @@
+// BallWorkspace parity: the workspace (allocation-lean) forms of
+// collect_ball and compute_local_view must be bit-identical to the
+// allocating reference paths, including after heavy reuse of one workspace
+// and under restricted active sets, and must charge the same telemetry.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cliqueforest/local_view.hpp"
+#include "graph/generators.hpp"
+#include "local/ball.hpp"
+#include "local/workspace.hpp"
+#include "obs/metrics.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+using local::Ball;
+using local::BallWorkspace;
+using local::RoundLedger;
+
+std::vector<std::vector<int>> adjacency(const Graph& g) {
+  std::vector<std::vector<int>> adj;
+  adj.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto& nbrs = g.neighbors(v);
+    adj.emplace_back(nbrs.begin(), nbrs.end());
+  }
+  return adj;
+}
+
+void expect_same_ball(const Ball& ref, const Ball& ws) {
+  EXPECT_EQ(ref.vertices, ws.vertices);
+  EXPECT_EQ(ref.dist, ws.dist);
+  ASSERT_EQ(ref.graph.num_vertices(), ws.graph.num_vertices());
+  EXPECT_EQ(ref.graph.num_edges(), ws.graph.num_edges());
+  EXPECT_EQ(adjacency(ref.graph), adjacency(ws.graph));
+}
+
+void expect_same_view(const LocalView& ref, const LocalView& ws) {
+  EXPECT_EQ(ref.cliques, ws.cliques);
+  EXPECT_EQ(ref.trusted_vertices, ws.trusted_vertices);
+  EXPECT_EQ(ref.forest_edges, ws.forest_edges);
+}
+
+TEST(BallWorkspace, CollectBallMatchesAllocatingPath) {
+  Graph g = testing::paper_figure1_graph();
+  BallWorkspace workspace;
+  Ball out;
+  for (int radius = 1; radius <= 5; ++radius) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      Ball ref = local::collect_ball(g, v, radius, nullptr, nullptr);
+      local::collect_ball(g, v, radius, nullptr, nullptr, workspace, out);
+      expect_same_ball(ref, out);
+    }
+  }
+}
+
+TEST(BallWorkspace, CollectBallMatchesUnderActiveMask) {
+  RandomChordalConfig config;
+  config.n = 120;
+  config.max_clique = 5;
+  config.seed = 7;
+  Graph g = random_chordal(config);
+  // Deterministic mask knocking out a third of the vertices.
+  std::vector<char> active(static_cast<std::size_t>(g.num_vertices()), 1);
+  for (int v = 0; v < g.num_vertices(); v += 3) active[v] = 0;
+  BallWorkspace workspace;
+  Ball out;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!active[v]) continue;
+    Ball ref = local::collect_ball(g, v, 3, &active, nullptr);
+    local::collect_ball(g, v, 3, &active, nullptr, workspace, out);
+    expect_same_ball(ref, out);
+  }
+}
+
+TEST(BallWorkspace, ReusedWorkspaceStaysExact) {
+  // The whole point of the workspace: repeated collections on one instance
+  // must not leak state between calls (epoch stamping, no clears).
+  Graph g = caterpillar(30, 2);
+  BallWorkspace workspace;
+  Ball out;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      int radius = 1 + (v + pass) % 4;
+      Ball ref = local::collect_ball(g, v, radius, nullptr, nullptr);
+      local::collect_ball(g, v, radius, nullptr, nullptr, workspace, out);
+      expect_same_ball(ref, out);
+    }
+  }
+}
+
+TEST(BallWorkspace, ChargesSameLedgerRounds) {
+  Graph g = testing::paper_figure1_graph();
+  RoundLedger ref_ledger(g.num_vertices());
+  RoundLedger ws_ledger(g.num_vertices());
+  BallWorkspace workspace;
+  Ball out;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    local::collect_ball(g, v, 2 + v % 3, nullptr, &ref_ledger);
+    local::collect_ball(g, v, 2 + v % 3, nullptr, &ws_ledger, workspace, out);
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(ref_ledger.clock(v), ws_ledger.clock(v));
+  }
+  EXPECT_EQ(ref_ledger.max_clock(), ws_ledger.max_clock());
+}
+
+TEST(BallWorkspace, ChargesSameTelemetry) {
+  Graph g = testing::paper_figure1_graph();
+  obs::Registry ref_reg, ws_reg;
+  {
+    obs::ScopedRegistry scope(ref_reg);
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      local::collect_ball(g, v, 3, nullptr, nullptr);
+    }
+  }
+  {
+    obs::ScopedRegistry scope(ws_reg);
+    BallWorkspace workspace;
+    Ball out;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      local::collect_ball(g, v, 3, nullptr, nullptr, workspace, out);
+    }
+  }
+  const obs::Counter* ref_c = ref_reg.find_counter("ball.collections");
+  const obs::Counter* ws_c = ws_reg.find_counter("ball.collections");
+  ASSERT_NE(ref_c, nullptr);
+  ASSERT_NE(ws_c, nullptr);
+  EXPECT_EQ(ref_c->value(), ws_c->value());
+  const obs::Histogram* ref_h = ref_reg.find_histogram("ball.volume_words");
+  const obs::Histogram* ws_h = ws_reg.find_histogram("ball.volume_words");
+  ASSERT_NE(ref_h, nullptr);
+  ASSERT_NE(ws_h, nullptr);
+  EXPECT_EQ(ref_h->count(), ws_h->count());
+  EXPECT_EQ(ref_h->mean(), ws_h->mean());
+  EXPECT_EQ(ref_h->max(), ws_h->max());
+}
+
+TEST(BallWorkspace, LocalViewMatchesAllocatingPath) {
+  Graph g = testing::paper_figure1_graph();
+  BallWorkspace workspace;
+  LocalView out;
+  for (int radius = 2; radius <= 6; ++radius) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      LocalView ref = compute_local_view(g, v, radius, nullptr);
+      local::compute_local_view(g, v, radius, nullptr, workspace, out);
+      expect_same_view(ref, out);
+    }
+  }
+}
+
+TEST(BallWorkspace, LocalViewMatchesOnRandomChordalWithMask) {
+  RandomChordalConfig config;
+  config.n = 90;
+  config.max_clique = 4;
+  config.chain_bias = 0.8;
+  config.seed = 21;
+  Graph g = random_chordal(config);
+  std::vector<char> active(static_cast<std::size_t>(g.num_vertices()), 1);
+  for (int v = 1; v < g.num_vertices(); v += 4) active[v] = 0;
+  BallWorkspace workspace;
+  LocalView out;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (!active[v]) continue;
+    LocalView ref = compute_local_view(g, v, 4, &active);
+    local::compute_local_view(g, v, 4, &active, workspace, out);
+    expect_same_view(ref, out);
+  }
+}
+
+TEST(BallWorkspace, LastBallDistReportsRestrictedDistances) {
+  Graph g = path_graph(12);
+  BallWorkspace workspace;
+  LocalView out;
+  local::compute_local_view(g, 5, 3, nullptr, workspace, out);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    int expected = std::abs(v - 5) <= 3 ? std::abs(v - 5) : -1;
+    EXPECT_EQ(workspace.last_ball_dist(v), expected) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace chordal
