@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the experiment benches at their pinned seeds (the seeds are baked
+# into the bench sources) and writes canonical BENCH_*.json files at the
+# repo root. With a suffix argument the files become BENCH_<NAME>_<SUFFIX>
+# .json, which is how the cached/uncached evidence pairs are produced:
+#
+#   CHORDAL_BALL_CACHE=0 scripts/bench_all.sh UNCACHED
+#   CHORDAL_BALL_CACHE=1 scripts/bench_all.sh CACHED
+#   scripts/bench_diff.py BENCH_PEELING_UNCACHED.json BENCH_PEELING_CACHED.json
+#
+# Environment variables (CHORDAL_BALL_CACHE, CHORDAL_THREADS) pass through
+# to the benches. BUILD_DIR overrides the build tree (default:
+# build-release, configured and built on demand).
+#
+# Usage: scripts/bench_all.sh [suffix]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build-release}"
+suffix="${1:+_$1}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+if [[ ! -x "$build/bench/bench_peeling" ]]; then
+  cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$build" -j "$jobs" >/dev/null
+fi
+
+run_table_bench() {
+  local bench="$1" out="$repo/BENCH_$2$suffix.json"
+  echo "== $bench -> $(basename "$out")"
+  "$build/bench/$bench" --json "$out" >/dev/null
+}
+
+run_table_bench bench_peeling PEELING
+run_table_bench bench_local_views LOCAL_VIEWS
+run_table_bench bench_mvc_rounds MVC_ROUNDS
+run_table_bench bench_mis_chordal MIS_CHORDAL
+
+out="$repo/BENCH_MICRO$suffix.json"
+echo "== bench_micro -> $(basename "$out")"
+"$build/bench/bench_micro" --benchmark_format=console \
+  --benchmark_out_format=json --benchmark_out="$out" >/dev/null
+
+echo "done: BENCH_*$suffix.json"

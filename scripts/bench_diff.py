@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON files.
+
+Default mode prints per-bench wall-clock deltas: every span of the repo's
+--json telemetry format (name, wall_ms, recursively over children) or every
+benchmark of a google-benchmark JSON file (name, cpu_time), matched by name,
+with absolute and relative change.
+
+--parity mode instead checks that the two files are byte-equivalent once
+timing fields and cache-effectiveness metadata are scrubbed: wall_ms on
+spans, real/cpu times and run metadata on google-benchmark output, and every
+cache.* counter/gauge/histogram (the cached run publishes those, the
+uncached run does not - they are effectiveness telemetry, not output).
+Exits nonzero and reports the first differences when anything else differs.
+Scripts use it as the cached-vs-uncached smoke gate; see scripts/check.sh.
+
+Usage:
+  bench_diff.py A.json B.json            # wall-clock comparison
+  bench_diff.py --parity A.json B.json   # scrubbed equality gate
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_KEYS = {
+    "wall_ms",
+    "real_time",
+    "cpu_time",
+    "date",
+    "host_name",
+    "executable",
+    "load_avg",
+    "iterations",
+    "items_per_second",
+    "bytes_per_second",
+    # google-benchmark BigO fits are derived from timings
+    "cpu_coefficient",
+    "real_coefficient",
+    "rms",
+}
+
+# Cache-effectiveness counters: google-benchmark flattens state.counters
+# into top-level keys, so the cached micro-benchmarks report bare
+# "hits"/"misses" rather than cache.*-prefixed names.
+CACHE_COUNTER_KEYS = {"hits", "misses"}
+
+
+def is_cache_key(key):
+    return key.startswith("cache.") or key in CACHE_COUNTER_KEYS
+
+
+def scrub(node):
+    """Removes timing fields and cache.* metadata, recursively."""
+    if isinstance(node, dict):
+        return {
+            k: scrub(v)
+            for k, v in node.items()
+            if k not in TIMING_KEYS and not is_cache_key(k)
+        }
+    if isinstance(node, list):
+        return [scrub(x) for x in node]
+    return node
+
+
+def walk_spans(spans, prefix, out):
+    for span in spans:
+        name = prefix + span.get("name", "?")
+        if "wall_ms" in span:
+            out[name] = float(span["wall_ms"])
+        walk_spans(span.get("children", []), name + " / ", out)
+
+
+def timings(doc):
+    """name -> milliseconds for either supported JSON flavor."""
+    out = {}
+    if "benchmarks" in doc:  # google-benchmark
+        unit_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+        for bench in doc["benchmarks"]:
+            scale = unit_ms.get(bench.get("time_unit", "ns"), 1e-6)
+            out[bench["name"]] = float(bench["cpu_time"]) * scale
+    telemetry = doc.get("telemetry", {})
+    walk_spans(telemetry.get("spans", []), "", out)
+    return out
+
+
+def diff_report(a, b, path, lines, limit=20):
+    if len(lines) >= limit:
+        return
+    if type(a) is not type(b):
+        lines.append(f"{path}: type {type(a).__name__} != {type(b).__name__}")
+        return
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                lines.append(f"{path}.{key}: only in second file")
+            elif key not in b:
+                lines.append(f"{path}.{key}: only in first file")
+            else:
+                diff_report(a[key], b[key], f"{path}.{key}", lines, limit)
+        return
+    if isinstance(a, list):
+        if len(a) != len(b):
+            lines.append(f"{path}: length {len(a)} != {len(b)}")
+        for i, (x, y) in enumerate(zip(a, b)):
+            diff_report(x, y, f"{path}[{i}]", lines, limit)
+        return
+    if a != b:
+        lines.append(f"{path}: {a!r} != {b!r}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("a")
+    parser.add_argument("b")
+    parser.add_argument(
+        "--parity",
+        action="store_true",
+        help="require equality outside timing and cache.* fields",
+    )
+    args = parser.parse_args()
+
+    with open(args.a) as f:
+        doc_a = json.load(f)
+    with open(args.b) as f:
+        doc_b = json.load(f)
+
+    if args.parity:
+        scrubbed_a, scrubbed_b = scrub(doc_a), scrub(doc_b)
+        if scrubbed_a == scrubbed_b:
+            print(f"parity OK: {args.a} == {args.b} outside timing/cache fields")
+            return 0
+        lines = []
+        diff_report(scrubbed_a, scrubbed_b, "$", lines)
+        print(f"parity FAILED: {args.a} vs {args.b}", file=sys.stderr)
+        for line in lines:
+            print("  " + line, file=sys.stderr)
+        return 1
+
+    times_a, times_b = timings(doc_a), timings(doc_b)
+    shared = [name for name in times_a if name in times_b]
+    if not shared:
+        print("no common benches/spans to compare", file=sys.stderr)
+        return 1
+    width = max(len(name) for name in shared)
+    print(f"{'bench':<{width}}  {'A ms':>12}  {'B ms':>12}  {'delta':>9}  ratio")
+    for name in shared:
+        ta, tb = times_a[name], times_b[name]
+        ratio = tb / ta if ta > 0 else float("inf")
+        print(
+            f"{name:<{width}}  {ta:>12.3f}  {tb:>12.3f}  "
+            f"{tb - ta:>+9.3f}  {ratio:.3f}x"
+        )
+    only = sorted(set(times_a) ^ set(times_b))
+    for name in only:
+        which = "A" if name in times_a else "B"
+        print(f"(only in {which}) {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build and test the Release configuration, the
 # combined ASan+UBSan configuration, and the ThreadSanitizer configuration
-# (which exercises the parallel_for drivers at several worker counts). All
-# must pass.
+# (which exercises the parallel_for drivers at several worker counts),
+# then a cache-parity smoke run: one driver bench executed cached and
+# uncached must produce identical JSON outside timing and cache.* fields.
+# All must pass.
 #
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
@@ -32,6 +34,17 @@ echo
 echo "== TSan (parallel drivers, CHORDAL_THREADS=4) =="
 CHORDAL_THREADS=4 run_config "$repo/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHORDAL_TSAN=ON
+
+echo
+echo "== Cache parity smoke (cached vs uncached driver run) =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+CHORDAL_BALL_CACHE=0 "$repo/build-release/bench/bench_local_views" \
+  --json "$smoke_dir/uncached.json" >/dev/null
+CHORDAL_BALL_CACHE=1 "$repo/build-release/bench/bench_local_views" \
+  --json "$smoke_dir/cached.json" >/dev/null
+python3 "$repo/scripts/bench_diff.py" --parity \
+  "$smoke_dir/uncached.json" "$smoke_dir/cached.json"
 
 echo
 echo "All configurations passed."

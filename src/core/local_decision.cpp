@@ -8,6 +8,7 @@
 
 #include "cliqueforest/local_view.hpp"
 #include "graph/diameter.hpp"
+#include "local/ball_cache.hpp"
 #include "local/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -33,11 +34,10 @@ struct ChainAnalysis {
   int independence = 0;
 };
 
-/// One worker's reusable state for the per-node decision loop: the ball
-/// workspace plus every view-sized buffer analyze_chain needs.
+/// One worker's reusable state for the per-node decision loop: every
+/// view-sized buffer analyze_chain needs (the ball workspace lives in the
+/// worker's BallCache shard).
 struct DecisionScratch {
-  local::BallWorkspace ws;
-  LocalView view;
   SubsetSweepScratch sweep;
   std::vector<int> adj_off, adj_cursor, adj_list;  // view-forest CSR
   std::vector<int> family;
@@ -49,12 +49,20 @@ struct DecisionScratch {
   std::vector<std::pair<int, int>> ranges;
 };
 
-ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
-                            const std::vector<char>& active,
-                            DecisionScratch& s) {
+/// The analysis replay slot for one vertex: while the vertex's cached ball
+/// is untouched (same entry revision), the whole chain analysis - a pure
+/// function of the ball - replays with zero work.
+struct AnalysisMemo {
+  std::uint64_t revision = 0;
+  bool valid = false;
   ChainAnalysis analysis;
-  local::compute_local_view(g, v, radius, &active, s.ws, s.view);
-  const LocalView& view = s.view;
+};
+
+ChainAnalysis analyze_view(const Graph& g, int v, int radius,
+                           const LocalView& view,
+                           local::BallCache::Shard& shard,
+                           DecisionScratch& s) {
+  ChainAnalysis analysis;
   const int m = static_cast<int>(view.cliques.size());
   // View-forest adjacency, flat CSR. Filling edge-by-edge with per-clique
   // cursors reproduces the push_back order of an adjacency-list build.
@@ -81,7 +89,7 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
   // during the ball collection are exactly the restricted BFS distances.
   auto clique_maxdist = [&](int c) {
     int far = 0;
-    for (int u : view.cliques[c]) far = std::max(far, s.ws.last_ball_dist(u));
+    for (int u : view.cliques[c]) far = std::max(far, shard.ball_dist(u));
     return far;
   };
   auto degree_trusted = [&](int c) { return clique_maxdist(c) <= radius - 2; };
@@ -249,11 +257,32 @@ ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
   return analysis;
 }
 
+/// Analysis through the ball cache: a full view hit with an up-to-date memo
+/// replays the stored analysis; everything else recomputes from the (cached
+/// or rebuilt) view and refreshes the memo.
+ChainAnalysis analyze_chain(const Graph& g, int v, int radius,
+                            local::BallCache::Shard& shard,
+                            AnalysisMemo* memo, DecisionScratch& s) {
+  local::BallCache::ViewRef ref = shard.local_view(v, radius);
+  if (memo != nullptr && memo->valid && ref.hit &&
+      memo->revision == ref.revision) {
+    return memo->analysis;
+  }
+  if (ref.hit) shard.ensure_dists(v);  // analyze_view reads ball distances
+  ChainAnalysis analysis = analyze_view(g, v, radius, *ref.view, shard, s);
+  if (memo != nullptr) {
+    memo->revision = ref.revision;
+    memo->valid = true;
+    memo->analysis = analysis;
+  }
+  return analysis;
+}
+
 /// One node's coloring-mode pruning decision (threshold: diam >= 3k).
 bool decide_locally(const Graph& g, int v, int radius, int k,
-                    const std::vector<char>& active, bool* used_horizon,
-                    DecisionScratch& scratch) {
-  ChainAnalysis a = analyze_chain(g, v, radius, active, scratch);
+                    bool* used_horizon, local::BallCache::Shard& shard,
+                    AnalysisMemo* memo, DecisionScratch& scratch) {
+  ChainAnalysis a = analyze_chain(g, v, radius, shard, memo, scratch);
   if (!a.family_binary) return false;
   if (a.ends[0] == EndKind::kLeaf || a.ends[1] == EndKind::kLeaf) return true;
   if (a.ends[0] == EndKind::kHorizon || a.ends[1] == EndKind::kHorizon) {
@@ -268,9 +297,9 @@ bool decide_locally(const Graph& g, int v, int radius, int k,
 /// One node's MIS-mode pruning decision: pendant always; internal paths by
 /// diam >= 2d+3 (early iterations) or alpha >= d (the final iteration).
 bool decide_locally_mis(const Graph& g, int v, int radius, int d,
-                        bool last_round, const std::vector<char>& active,
-                        DecisionScratch& scratch) {
-  ChainAnalysis a = analyze_chain(g, v, radius, active, scratch);
+                        bool last_round, local::BallCache::Shard& shard,
+                        AnalysisMemo* memo, DecisionScratch& scratch) {
+  ChainAnalysis a = analyze_chain(g, v, radius, shard, memo, scratch);
   if (!a.family_binary) return false;
   if (a.ends[0] == EndKind::kLeaf || a.ends[1] == EndKind::kLeaf) return true;
   if (a.ends[0] == EndKind::kHorizon || a.ends[1] == EndKind::kHorizon) {
@@ -291,13 +320,17 @@ PeelingResult peel_with_local_decisions(const Graph& g,
   PeelingResult result;
   result.layer_of.assign(static_cast<std::size_t>(g.num_vertices()), 0);
   std::vector<char> active_clique(static_cast<std::size_t>(m), 1);
-  std::vector<char> active_vertex(static_cast<std::size_t>(g.num_vertices()),
-                                  1);
   int remaining = g.num_vertices();
   int iteration_cap = 4 * (32 - __builtin_clz(std::max(2, g.num_vertices())));
-  // One reusable scratch per worker, warm across all iterations.
+  // One reusable scratch per worker, warm across all iterations; balls and
+  // views persist between iterations in the cache, and the per-vertex memo
+  // replays whole decisions while a vertex's ball is untouched.
   std::vector<DecisionScratch> scratch(
       static_cast<std::size_t>(support::num_threads()));
+  local::BallCache cache(g);
+  const std::vector<char>& active_vertex = cache.active();
+  std::vector<AnalysisMemo> memo(static_cast<std::size_t>(g.num_vertices()));
+  std::vector<int> peeled;
 
   for (int iter = 1; remaining > 0; ++iter) {
     if (iter > iteration_cap) {
@@ -328,11 +361,13 @@ PeelingResult peel_with_local_decisions(const Graph& g,
         static_cast<std::size_t>(g.num_vertices()),
         [&](std::size_t begin, std::size_t end, std::size_t worker) {
           DecisionScratch& s = scratch[worker];
+          local::BallCache::Shard& shard = cache.shard(worker);
           for (std::size_t i = begin; i < end; ++i) {
             int v = static_cast<int>(i);
             if (!active_vertex[v]) continue;
             ++worker_views[worker];
-            if (decide_locally(g, v, radius, k, active_vertex, nullptr, s)) {
+            if (decide_locally(g, v, radius, k, nullptr, shard, &memo[i],
+                               s)) {
               removed[v] = 1;
             }
           }
@@ -385,14 +420,16 @@ PeelingResult peel_with_local_decisions(const Graph& g,
     if (taken.empty()) {
       throw std::logic_error("peel_with_local_decisions: no progress");
     }
+    peeled.clear();
     for (const auto& lp : taken) {
       for (int v : lp.owned) {
         result.layer_of[v] = iter;
-        active_vertex[v] = 0;
+        peeled.push_back(v);
         --remaining;
       }
       for (int c : lp.path.cliques) active_clique[c] = 0;
     }
+    cache.deactivate(peeled);
     result.layers.push_back(std::move(taken));
     result.num_layers = iter;
   }
@@ -406,34 +443,51 @@ LocalDecisionAudit audit_local_pruning(const Graph& g,
   (void)forest;
   LocalDecisionAudit audit;
   const int radius = 10 * k;
+  const int n = g.num_vertices();
+  const int step = std::max(1, stride);
   std::vector<DecisionScratch> scratch(
       static_cast<std::size_t>(support::num_threads()));
+  // The audited masks are monotone (layer_of >= iter only shrinks with
+  // iter, and every vertex has layer_of >= 1), so the cache starts
+  // all-active and is fed the per-iteration deactivation delta. Work is
+  // partitioned by vertex index - not candidate rank - so each vertex keeps
+  // its shard for the whole audit regardless of how the mask shrinks.
+  local::BallCache cache(g);
+  std::vector<AnalysisMemo> memo(static_cast<std::size_t>(n));
+  std::vector<char> local(static_cast<std::size_t>(n), 0);
+  std::vector<char> horizon(static_cast<std::size_t>(n), 0);
+  std::vector<int> expired;
+  const std::vector<char>& active = cache.active();
   for (int iter = 1; iter <= peeling.num_layers; ++iter) {
-    std::vector<char> active(static_cast<std::size_t>(g.num_vertices()), 0);
-    for (int u = 0; u < g.num_vertices(); ++u) {
-      active[u] = peeling.layer_of[u] >= iter ? 1 : 0;
+    if (iter > 1) {
+      expired.clear();
+      for (int u = 0; u < n; ++u) {
+        if (peeling.layer_of[u] == iter - 1) expired.push_back(u);
+      }
+      cache.deactivate(expired);
     }
-    std::vector<int> candidates;
-    for (int v = 0; v < g.num_vertices(); v += std::max(1, stride)) {
-      if (active[v]) candidates.push_back(v);
-    }
-    std::vector<char> local(candidates.size(), 0), horizon(candidates.size(),
-                                                           0);
-    support::parallel_for(
-        candidates.size(), [&](std::size_t i, std::size_t worker) {
-          bool hit = false;
-          local[i] = decide_locally(g, candidates[i], radius, k, active, &hit,
-                                    scratch[worker])
-                         ? 1
-                         : 0;
-          horizon[i] = hit ? 1 : 0;
+    support::parallel_for_ranges(
+        static_cast<std::size_t>(n),
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          DecisionScratch& s = scratch[worker];
+          local::BallCache::Shard& shard = cache.shard(worker);
+          for (std::size_t i = begin; i < end; ++i) {
+            int v = static_cast<int>(i);
+            if (v % step != 0 || !active[v]) continue;
+            bool hit = false;
+            local[i] =
+                decide_locally(g, v, radius, k, &hit, shard, &memo[i], s)
+                    ? 1
+                    : 0;
+            horizon[i] = hit ? 1 : 0;
+          }
         });
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      int v = candidates[i];
-      bool removed_locally = local[i] != 0;
+    for (int v = 0; v < n; v += step) {
+      if (!active[v]) continue;
+      bool removed_locally = local[v] != 0;
       bool removed_globally = peeling.layer_of[v] == iter;
       ++audit.decisions_checked;
-      if (horizon[i]) ++audit.horizon_hits;
+      if (horizon[v]) ++audit.horizon_hits;
       if (removed_locally != removed_globally) {
         ++audit.mismatches;
 #ifdef CHORDAL_AUDIT_TRACE
@@ -454,30 +508,46 @@ LocalDecisionAudit audit_local_pruning_mis(const Graph& g,
   (void)forest;
   LocalDecisionAudit audit;
   const int radius = 4 * d + 10;
+  const int n = g.num_vertices();
+  const int step = std::max(1, stride);
   std::vector<DecisionScratch> scratch(
       static_cast<std::size_t>(support::num_threads()));
+  // MIS masks are monotone too: layer-0 vertices stay active forever, the
+  // rest leave exactly once at their layer. The memoized chain analysis is
+  // decision-independent, so it replays across the last_round flip - only
+  // the threshold applied to it changes.
+  local::BallCache cache(g);
+  std::vector<AnalysisMemo> memo(static_cast<std::size_t>(n));
+  std::vector<char> local(static_cast<std::size_t>(n), 0);
+  std::vector<int> expired;
+  const std::vector<char>& active = cache.active();
   for (int iter = 1; iter <= peeling.num_layers; ++iter) {
     bool last_round = iter == peeling.num_layers;
-    std::vector<char> active(static_cast<std::size_t>(g.num_vertices()), 0);
-    for (int u = 0; u < g.num_vertices(); ++u) {
-      active[u] =
-          (peeling.layer_of[u] == 0 || peeling.layer_of[u] >= iter) ? 1 : 0;
+    if (iter > 1) {
+      expired.clear();
+      for (int u = 0; u < n; ++u) {
+        if (peeling.layer_of[u] == iter - 1) expired.push_back(u);
+      }
+      cache.deactivate(expired);
     }
-    std::vector<int> candidates;
-    for (int v = 0; v < g.num_vertices(); v += std::max(1, stride)) {
-      if (active[v]) candidates.push_back(v);
-    }
-    std::vector<char> local(candidates.size(), 0);
-    support::parallel_for(
-        candidates.size(), [&](std::size_t i, std::size_t worker) {
-          local[i] = decide_locally_mis(g, candidates[i], radius, d,
-                                        last_round, active, scratch[worker])
-                         ? 1
-                         : 0;
+    support::parallel_for_ranges(
+        static_cast<std::size_t>(n),
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
+          DecisionScratch& s = scratch[worker];
+          local::BallCache::Shard& shard = cache.shard(worker);
+          for (std::size_t i = begin; i < end; ++i) {
+            int v = static_cast<int>(i);
+            if (v % step != 0 || !active[v]) continue;
+            local[i] = decide_locally_mis(g, v, radius, d, last_round, shard,
+                                          &memo[i], s)
+                           ? 1
+                           : 0;
+          }
         });
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      bool removed_locally = local[i] != 0;
-      bool removed_globally = peeling.layer_of[candidates[i]] == iter;
+    for (int v = 0; v < n; v += step) {
+      if (!active[v]) continue;
+      bool removed_locally = local[v] != 0;
+      bool removed_globally = peeling.layer_of[v] == iter;
       ++audit.decisions_checked;
       if (removed_locally != removed_globally) ++audit.mismatches;
     }

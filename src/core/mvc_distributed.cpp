@@ -58,6 +58,12 @@ struct Engine {
   MvcResult result;
   CliqueForest forest;
   PeelingResult peeling;
+  // Shared across all three phases: the peeling thresholds, the layer
+  // coloring, and the correction windows all derive the same per-path
+  // interval models (pure functions of the clique sequence), so one
+  // content-keyed cache serves the whole run.
+  PathMetricCache path_cache;
+  std::vector<PathMetricCache::WorkerLog> metric_logs;
   // Per-vertex completion time of the current phase (LOCAL clocks).
   std::vector<std::int64_t> clock;
   // Telemetry (populated only when an obs::Registry is installed):
@@ -67,7 +73,10 @@ struct Engine {
   std::vector<std::int64_t> congestion;
 
   explicit Engine(const Graph& graph, const MvcOptions& opts)
-      : g(graph), options(opts), forest(CliqueForest::build(graph)) {}
+      : g(graph),
+        options(opts),
+        forest(CliqueForest::build(graph)),
+        metric_logs(static_cast<std::size_t>(support::num_threads())) {}
 
   void run() {
     obs::Span span("MVC Algorithm 2 (Theorem 4)");
@@ -94,7 +103,7 @@ struct Engine {
         PeelConfig config;
         config.mode = PeelMode::kColoring;
         config.k = result.k;
-        peeling = peel(g, forest, config);
+        peeling = peel(g, forest, config, &path_cache);
       }
       result.num_layers = peeling.num_layers;
 
@@ -193,8 +202,9 @@ struct Engine {
         units.size(), [&](std::size_t idx, std::size_t worker) {
           WorkerTally& t = tally[worker];
           const LayerPath& lp = *units[idx];
-          path_intervals(forest, lp.path, t.scratch, t.full);
-          const PathIntervals& full = t.full;
+          const PathIntervals& full = *cached_path_intervals(
+              forest, lp.path, t.scratch, t.full, path_cache,
+              metric_logs[worker]);
           std::vector<std::size_t> owned_idx;
           for (std::size_t i = 0; i < full.vertices.size(); ++i) {
             if (std::binary_search(lp.owned.begin(), lp.owned.end(),
@@ -231,6 +241,7 @@ struct Engine {
                            model_words;
           }
         });
+    path_cache.merge(metric_logs);
     merge_tallies(tally);
   }
 
@@ -245,10 +256,11 @@ struct Engine {
     for (int layer = result.num_layers - 1; layer >= 1; --layer) {
       const auto& paths =
           peeling.layers[static_cast<std::size_t>(layer) - 1];
-      support::parallel_for(paths.size(),
-                            [&](std::size_t i, std::size_t worker) {
-                              correct_path(paths[i], tally[worker]);
-                            });
+      support::parallel_for(
+          paths.size(), [&](std::size_t i, std::size_t worker) {
+            correct_path(paths[i], tally[worker], metric_logs[worker]);
+          });
+      path_cache.merge(metric_logs);
     }
     merge_tallies(tally);
   }
@@ -266,9 +278,10 @@ struct Engine {
     }
   }
 
-  void correct_path(const LayerPath& lp, WorkerTally& t) {
-    path_intervals(forest, lp.path, t.scratch, t.full);
-    const PathIntervals& full = t.full;
+  void correct_path(const LayerPath& lp, WorkerTally& t,
+                    PathMetricCache::WorkerLog& log) {
+    const PathIntervals& full = *cached_path_intervals(
+        forest, lp.path, t.scratch, t.full, path_cache, log);
     const std::size_t n = full.vertices.size();
     std::vector<char> is_owned(n, 0);
     for (std::size_t i = 0; i < n; ++i) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cliqueforest/forest.hpp"
+#include "cliqueforest/path_cache.hpp"
 #include "cliqueforest/paths.hpp"
 #include "graph/graph.hpp"
 
@@ -53,8 +54,14 @@ struct PeelingResult {
   std::vector<int> high_degree_counts;
 };
 
-/// Runs the peeling process on a prebuilt clique forest of g.
+/// Runs the peeling process on a prebuilt clique forest of g. A surviving
+/// path keeps its clique sequence across iterations (Lemma 5), so its
+/// threshold metrics are served from `metrics` on every iteration after the
+/// first; pass a caller-owned cache to extend the reuse across phases (the
+/// MVC/MIS engines re-derive the same interval models when solving the
+/// layers), or nullptr for a peel-local one.
 PeelingResult peel(const Graph& g, const CliqueForest& forest,
-                   const PeelConfig& config);
+                   const PeelConfig& config,
+                   PathMetricCache* metrics = nullptr);
 
 }  // namespace chordal::core

@@ -28,17 +28,20 @@ void Network::send(int from, int to, Payload data) {
   stats_.total_payload_words += words;
   stats_.max_message_words = std::max(stats_.max_message_words, words);
   if (pending_[to].empty()) dirty_.push_back(to);
-  pending_[to].push_back({from, Message{from, std::move(data)}});
+  pending_[to].push_back({from, Message{from, PayloadRef(std::move(data))}});
 }
 
 void Network::broadcast(int from, const Payload& data) {
+  // One shared slab for all copies: stats below still account d full
+  // messages, but the simulator stores the payload words once.
+  PayloadRef shared{Payload(data)};
   auto words = static_cast<std::int64_t>(data.size());
   for (int to : graph_->neighbors(from)) {
     ++stats_.total_messages;
     stats_.total_payload_words += words;
     stats_.max_message_words = std::max(stats_.max_message_words, words);
     if (pending_[to].empty()) dirty_.push_back(to);
-    pending_[to].push_back({from, Message{from, data}});
+    pending_[to].push_back({from, Message{from, shared}});
   }
 }
 

@@ -15,7 +15,10 @@
 // the always-on NetworkStats counters are a handful of integer adds.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -25,9 +28,37 @@ namespace chordal::local {
 /// Unbounded message payload (LOCAL allows arbitrary sizes).
 using Payload = std::vector<std::int64_t>;
 
+/// Read-only view of a message payload, backed by a reference-counted slab.
+/// send() gives each message a private slab; broadcast() materializes the
+/// payload once and shares the slab across all d copies, so a degree-d
+/// broadcast costs O(|payload| + d) simulator work and memory instead of
+/// O(d * |payload|). This is purely a simulator optimization: NetworkStats
+/// still charges every delivered copy in full, because the LOCAL model sends
+/// d real messages over d real edges.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  explicit PayloadRef(Payload data)
+      : slab_(std::make_shared<const Payload>(std::move(data))) {}
+
+  std::size_t size() const { return slab_ == nullptr ? 0 : slab_->size(); }
+  bool empty() const { return size() == 0; }
+  std::int64_t operator[](std::size_t i) const { return (*slab_)[i]; }
+  auto begin() const { return slab_ == nullptr ? nullptr : slab_->data(); }
+  auto end() const {
+    return slab_ == nullptr ? nullptr : slab_->data() + slab_->size();
+  }
+  /// Identity of the backing slab; two refs with the same non-null slab()
+  /// share storage. Exposed so tests can assert broadcast deduplication.
+  const Payload* slab() const { return slab_.get(); }
+
+ private:
+  std::shared_ptr<const Payload> slab_;
+};
+
 struct Message {
   int from = -1;
-  Payload data;
+  PayloadRef data;
 };
 
 /// Exact traffic accounting for one Network run. "Words" are payload

@@ -18,7 +18,7 @@ void BallWorkspace::ensure(const Graph& g) {
   }
 }
 
-namespace {
+namespace detail {
 
 /// Radius-limited BFS + induced-CSR assembly; fills out.vertices (BFS
 /// order), out.dist and out.graph exactly as the allocating collect_ball
@@ -74,12 +74,12 @@ void collect_ball_core(const Graph& g, int center, int radius,
   out.graph.assign_csr(k, ws.offsets, ws.adj);
 }
 
-}  // namespace
+}  // namespace detail
 
 void collect_ball(const Graph& g, int center, int radius,
                   const std::vector<char>* active, RoundLedger* ledger,
                   BallWorkspace& ws, Ball& out) {
-  collect_ball_core(g, center, radius, active, ws, out);
+  detail::collect_ball_core(g, center, radius, active, ws, out);
   if (ledger != nullptr) ledger->charge(center, radius);
   auto words = static_cast<std::int64_t>(out.vertices.size() +
                                          2 * out.graph.num_edges());
@@ -119,13 +119,10 @@ int intersection_size(const std::vector<int>& a, const std::vector<int>& b) {
 
 }  // namespace
 
-void compute_local_view(const Graph& g, int observer, int radius,
-                        const std::vector<char>* active, BallWorkspace& ws,
-                        LocalView& out) {
-  if (radius < 1) throw std::invalid_argument("local view: radius < 1");
-  collect_ball_core(g, observer, radius, active, ws, ws.ball);
-  const Ball& ball = ws.ball;
+namespace detail {
 
+void view_from_ball(const Ball& ball, int radius, BallWorkspace& ws,
+                    LocalView& out) {
   // Maximal cliques of the ball graph containing a vertex at distance
   // <= radius-1 are maximal cliques of G (see cliqueforest/local_view.cpp,
   // the allocating reference implementation of this function).
@@ -213,6 +210,16 @@ void compute_local_view(const Graph& g, int observer, int radius,
   std::sort(edges_out.begin(), edges_out.end());
   edges_out.erase(std::unique(edges_out.begin(), edges_out.end()),
                   edges_out.end());
+}
+
+}  // namespace detail
+
+void compute_local_view(const Graph& g, int observer, int radius,
+                        const std::vector<char>* active, BallWorkspace& ws,
+                        LocalView& out) {
+  if (radius < 1) throw std::invalid_argument("local view: radius < 1");
+  detail::collect_ball_core(g, observer, radius, active, ws, ws.ball);
+  detail::view_from_ball(ws.ball, radius, ws, out);
 }
 
 }  // namespace chordal::local

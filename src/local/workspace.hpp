@@ -80,4 +80,24 @@ void compute_local_view(const Graph& g, int observer, int radius,
                         const std::vector<char>* active, BallWorkspace& ws,
                         LocalView& out);
 
+namespace detail {
+
+/// The BFS + induced-CSR stage of collect_ball: fills out.vertices (BFS
+/// order, [0] = center), out.dist and out.graph, with no ledger charge and
+/// no telemetry. Leaves ws stamped with the ball (visit_stamp/local_id at
+/// ws.epoch), so ws.ball-independent distance queries can be layered on
+/// top. Exposed for local::BallCache, which rebuilds entries through it.
+void collect_ball_core(const Graph& g, int center, int radius,
+                       const std::vector<char>* active, BallWorkspace& ws,
+                       Ball& out);
+
+/// The clique/forest stage of compute_local_view, from an already collected
+/// radius-`radius` ball of the observer. Uses ws only for flat scratch
+/// (phi_pairs/family); does not disturb the stamped tables. Exposed for
+/// local::BallCache, which derives views from cached balls.
+void view_from_ball(const Ball& ball, int radius, BallWorkspace& ws,
+                    LocalView& out);
+
+}  // namespace detail
+
 }  // namespace chordal::local

@@ -1,0 +1,455 @@
+// Cross-iteration cache parity: BallCache (balls, local views, ledgers,
+// telemetry replay) and PathMetricCache must be bit-identical to the
+// uncached recompute paths under arbitrary monotone deactivation schedules
+// and radius growth. The fuzz tests drive random chordal graphs through
+// random deactivation batches and compare every lookup against a fresh
+// collection; the driver tests toggle the process-wide cache switch and
+// assert outputs plus scrubbed telemetry agree.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cliqueforest/forest.hpp"
+#include "cliqueforest/local_view.hpp"
+#include "cliqueforest/path_cache.hpp"
+#include "core/local_decision.hpp"
+#include "core/mis.hpp"
+#include "core/mvc.hpp"
+#include "core/peeling.hpp"
+#include "graph/generators.hpp"
+#include "local/ball.hpp"
+#include "local/ball_cache.hpp"
+#include "local/workspace.hpp"
+#include "obs/metrics.hpp"
+#include "support/cachectl.hpp"
+#include "test_util.hpp"
+
+namespace chordal {
+namespace {
+
+using local::Ball;
+using local::BallCache;
+using local::RoundLedger;
+
+class CacheRestorer {
+ public:
+  ~CacheRestorer() { support::set_cache_enabled(-1); }
+};
+
+std::vector<std::vector<int>> adjacency(const Graph& g) {
+  std::vector<std::vector<int>> adj;
+  adj.reserve(static_cast<std::size_t>(g.num_vertices()));
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto& nbrs = g.neighbors(v);
+    adj.emplace_back(nbrs.begin(), nbrs.end());
+  }
+  return adj;
+}
+
+void expect_same_ball(const Ball& ref, const Ball& got) {
+  EXPECT_EQ(ref.vertices, got.vertices);
+  EXPECT_EQ(ref.dist, got.dist);
+  ASSERT_EQ(ref.graph.num_vertices(), got.graph.num_vertices());
+  EXPECT_EQ(ref.graph.num_edges(), got.graph.num_edges());
+  EXPECT_EQ(adjacency(ref.graph), adjacency(got.graph));
+}
+
+void expect_same_view(const LocalView& ref, const LocalView& got) {
+  EXPECT_EQ(ref.cliques, got.cliques);
+  EXPECT_EQ(ref.trusted_vertices, got.trusted_vertices);
+  EXPECT_EQ(ref.forest_edges, got.forest_edges);
+}
+
+Graph fuzz_graph(std::uint64_t seed) {
+  RandomChordalConfig config;
+  config.n = 140;
+  config.max_clique = 5;
+  config.chain_bias = 0.8;
+  config.seed = seed;
+  return random_chordal(config);
+}
+
+/// A random deactivation batch over the still-active vertices (possibly
+/// empty); deterministic given the rng state.
+std::vector<int> random_batch(const std::vector<char>& active,
+                              std::mt19937& rng) {
+  std::vector<int> batch;
+  for (int v = 0; v < static_cast<int>(active.size()); ++v) {
+    if (active[v] && rng() % 100 < 12) batch.push_back(v);
+  }
+  return batch;
+}
+
+/// Registry JSON with wall-clock timings and the cache.* counters removed:
+/// a cached run publishes cache statistics the uncached run does not, and
+/// everything else must match byte for byte.
+std::string scrub_volatile(const std::string& json) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < json.size()) {
+    bool drop = json.compare(i, 7, "\"cache.") == 0 ||
+                json.compare(i, 10, "\"wall_ms\":") == 0;
+    if (!drop) {
+      out.push_back(json[i]);
+      ++i;
+      continue;
+    }
+    ++i;  // opening quote of the key
+    while (i < json.size() && json[i] != '"') ++i;
+    i += 2;  // closing quote and ':'
+    if (i < json.size() && (json[i] == '{' || json[i] == '[')) {
+      int depth = 0;
+      do {
+        if (json[i] == '{' || json[i] == '[') ++depth;
+        if (json[i] == '}' || json[i] == ']') --depth;
+        ++i;
+      } while (i < json.size() && depth > 0);
+    } else {
+      while (i < json.size() && json[i] != ',' && json[i] != '}') ++i;
+    }
+    if (i < json.size() && json[i] == ',') {
+      ++i;  // the dropped member's separator
+    } else if (!out.empty() && out.back() == ',') {
+      out.pop_back();  // dropped the last member of its object
+    }
+  }
+  return out;
+}
+
+TEST(BallCacheFuzz, CollectBallMatchesFreshUnderDeactivationSchedules) {
+  for (std::uint64_t seed : {3u, 17u, 29u}) {
+    Graph g = fuzz_graph(seed);
+    BallCache cache(g, true);
+    BallCache::Shard& shard = cache.shard(0);
+    std::mt19937 rng(static_cast<unsigned>(seed * 1009 + 1));
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        if (!cache.active()[v]) continue;
+        // Varying radius exercises hits (same, every other epoch),
+        // extensions (larger), and rebuilds (smaller) on one entry history.
+        int radius = 2 + (v + epoch / 2) % 3;
+        Ball fresh = local::collect_ball(g, v, radius, &cache.active(),
+                                         nullptr);
+        const Ball& cached = shard.collect_ball(v, radius);
+        expect_same_ball(fresh, cached);
+      }
+      cache.deactivate(random_batch(cache.active(), rng));
+    }
+    BallCache::Stats stats = cache.stats();
+    EXPECT_GT(stats.hits, 0) << "seed " << seed;
+    EXPECT_GT(stats.extensions, 0) << "seed " << seed;
+    EXPECT_GT(stats.invalidations, 0) << "seed " << seed;
+    EXPECT_GT(stats.resident_words, 0) << "seed " << seed;
+  }
+}
+
+TEST(BallCacheFuzz, RadiusGrowthExtendsBitIdentically) {
+  Graph g = fuzz_graph(41);
+  BallCache cache(g, true);
+  BallCache::Shard& shard = cache.shard(0);
+  std::mt19937 rng(4242);
+  // Ascending radii per center force the frontier-resume path; interleaved
+  // deactivations force extensions of both pristine and rebuilt entries.
+  for (int radius = 1; radius <= 6; ++radius) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (!cache.active()[v]) continue;
+      Ball fresh = local::collect_ball(g, v, radius, &cache.active(), nullptr);
+      expect_same_ball(fresh, shard.collect_ball(v, radius));
+    }
+    if (radius % 2 == 0) cache.deactivate(random_batch(cache.active(), rng));
+  }
+  EXPECT_GT(cache.stats().extensions, 0);
+}
+
+TEST(BallCacheFuzz, LocalViewMatchesFreshAndRevisionTracksContent) {
+  for (std::uint64_t seed : {5u, 23u}) {
+    Graph g = fuzz_graph(seed);
+    BallCache cache(g, true);
+    BallCache::Shard& shard = cache.shard(0);
+    std::mt19937 rng(static_cast<unsigned>(seed * 7 + 3));
+    std::vector<std::uint64_t> last_revision(
+        static_cast<std::size_t>(g.num_vertices()), 0);
+    std::vector<char> had_entry(static_cast<std::size_t>(g.num_vertices()), 0);
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        if (!cache.active()[v]) continue;
+        LocalView fresh = compute_local_view(g, v, 4, &cache.active());
+        BallCache::ViewRef ref = shard.local_view(v, 4);
+        expect_same_view(fresh, *ref.view);
+        if (ref.hit) {
+          // A hit may only be served while the content version is the one
+          // the previous lookup reported.
+          EXPECT_TRUE(had_entry[v]);
+          EXPECT_EQ(ref.revision, last_revision[v]) << "v=" << v;
+        }
+        // Same lookup again: must hit with an unchanged revision.
+        BallCache::ViewRef again = shard.local_view(v, 4);
+        EXPECT_TRUE(again.hit);
+        EXPECT_EQ(again.revision, ref.revision);
+        expect_same_view(fresh, *again.view);
+        last_revision[v] = ref.revision;
+        had_entry[v] = 1;
+      }
+      cache.deactivate(random_batch(cache.active(), rng));
+    }
+  }
+}
+
+TEST(BallCacheFuzz, BallDistMatchesWorkspaceStamps) {
+  Graph g = fuzz_graph(11);
+  BallCache cache(g, true);
+  BallCache::Shard& shard = cache.shard(0);
+  local::BallWorkspace reference_ws;
+  LocalView scratch_view;
+  std::mt19937 rng(77);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int v = 0; v < g.num_vertices(); v += 3) {
+      if (!cache.active()[v]) continue;
+      local::compute_local_view(g, v, 4, &cache.active(), reference_ws,
+                                scratch_view);
+      BallCache::ViewRef ref = shard.local_view(v, 4);
+      if (ref.hit) shard.ensure_dists(v);
+      for (int u = 0; u < g.num_vertices(); ++u) {
+        EXPECT_EQ(shard.ball_dist(u), reference_ws.last_ball_dist(u))
+            << "center " << v << " vertex " << u;
+      }
+    }
+    cache.deactivate(random_batch(cache.active(), rng));
+  }
+}
+
+TEST(BallCache, LedgerParityCachedVsUncached) {
+  Graph g = fuzz_graph(19);
+  BallCache cached(g, true);
+  BallCache uncached(g, false);
+  RoundLedger cached_ledger(g.num_vertices());
+  RoundLedger uncached_ledger(g.num_vertices());
+  std::mt19937 rng_a(55), rng_b(55);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (!cached.active()[v]) continue;
+      int radius = 2 + v % 2;
+      cached.shard(0).collect_ball(v, radius, &cached_ledger);
+      uncached.shard(0).collect_ball(v, radius, &uncached_ledger);
+    }
+    cached.deactivate(random_batch(cached.active(), rng_a));
+    uncached.deactivate(random_batch(uncached.active(), rng_b));
+  }
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(cached_ledger.clock(v), uncached_ledger.clock(v)) << "v=" << v;
+  }
+  EXPECT_EQ(cached_ledger.max_clock(), uncached_ledger.max_clock());
+  EXPECT_GT(cached.stats().hits, 0);
+  EXPECT_EQ(uncached.stats().hits, 0);
+}
+
+TEST(BallCache, TelemetryReplayMatchesUncached) {
+  Graph g = fuzz_graph(31);
+  std::vector<std::string> telemetry;
+  for (bool enabled : {true, false}) {
+    obs::Registry reg;
+    {
+      obs::ScopedRegistry scope(reg);
+      BallCache cache(g, enabled);
+      std::mt19937 rng(99);
+      for (int epoch = 0; epoch < 3; ++epoch) {
+        for (int v = 0; v < g.num_vertices(); ++v) {
+          if (!cache.active()[v]) continue;
+          cache.shard(0).collect_ball(v, 3);
+        }
+        cache.deactivate(random_batch(cache.active(), rng));
+      }
+    }
+    telemetry.push_back(scrub_volatile(reg.to_json()));
+  }
+  // Hits replay the exact counter bump and histogram sample of a fresh
+  // collection, so everything except the cache.* stats is byte-identical.
+  EXPECT_EQ(telemetry[0], telemetry[1]);
+}
+
+/// Runs two identical passes of every metric over `g`'s maximal binary
+/// paths, asserting cached == plain throughout, and returns the cache stats.
+PathMetricCache::Stats path_cache_parity_passes(const Graph& g,
+                                                std::size_t* cacheable_count) {
+  CliqueForest forest = CliqueForest::build(g);
+  std::vector<char> active(static_cast<std::size_t>(forest.num_cliques()), 1);
+  auto paths = maximal_binary_paths(forest, active);
+  EXPECT_FALSE(paths.empty());
+  *cacheable_count = 0;
+  for (const ForestPath& path : paths) {
+    if (PathMetricCache::cacheable(path)) ++*cacheable_count;
+  }
+  PathMetricCache cache(true);
+  std::vector<PathMetricCache::WorkerLog> logs(1);
+  PathScratch scratch;
+  PathIntervals storage;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const ForestPath& path : paths) {
+      EXPECT_EQ(cached_path_diameter(g, forest, path, scratch, cache, logs[0]),
+                path_diameter(g, forest, path, scratch));
+      EXPECT_EQ(cached_path_independence(forest, path, scratch, cache,
+                                         logs[0]),
+                path_independence(forest, path, scratch));
+      const PathIntervals* rep = cached_path_intervals(forest, path, scratch,
+                                                       storage, cache, logs[0]);
+      PathIntervals fresh;
+      path_intervals(forest, path, scratch, fresh);
+      EXPECT_EQ(rep->vertices, fresh.vertices);
+      EXPECT_EQ(rep->lo, fresh.lo);
+      EXPECT_EQ(rep->hi, fresh.hi);
+      EXPECT_EQ(rep->num_positions, fresh.num_positions);
+    }
+    cache.merge(logs);
+  }
+  return cache.stats();
+}
+
+TEST(PathMetricCache, MetricsMatchUncachedAndOnlyLongPathsAreCached) {
+  // Mixed workload: only paths of >= kMinCliques cliques enter the map.
+  std::size_t cacheable = 0;
+  PathMetricCache::Stats stats =
+      path_cache_parity_passes(fuzz_graph(13), &cacheable);
+  EXPECT_EQ(stats.entries, static_cast<std::int64_t>(cacheable));
+  if (cacheable > 0) {
+    EXPECT_GT(stats.hits, 0);
+  }
+}
+
+TEST(PathMetricCache, LongPathHitsOnRepeat) {
+  // A path-shaped clique tree is one long maximal binary path, guaranteed
+  // past the kMinCliques gate: the second pass must hit on every metric.
+  CliqueTreeConfig config;
+  config.num_bags = 60;
+  config.shape = TreeShape::kPath;
+  config.seed = 7;
+  std::size_t cacheable = 0;
+  PathMetricCache::Stats stats = path_cache_parity_passes(
+      random_chordal_from_clique_tree(config).graph, &cacheable);
+  EXPECT_GT(cacheable, 0u);
+  EXPECT_EQ(stats.entries, static_cast<std::int64_t>(cacheable));
+  // Pass 1: three misses per path (diameter, independence, intervals - the
+  // map only absorbs the worker log at the end of the pass). Pass 2: three
+  // hits per path.
+  EXPECT_EQ(stats.misses, 3 * static_cast<std::int64_t>(cacheable));
+  EXPECT_EQ(stats.hits, stats.misses);
+}
+
+Graph driver_workload() {
+  RandomChordalConfig config;
+  config.n = 400;
+  config.max_clique = 5;
+  config.chain_bias = 0.85;
+  config.seed = 47;
+  return random_chordal(config);
+}
+
+TEST(CacheParity, MvcIdenticalWithAndWithoutCache) {
+  CacheRestorer restore;
+  Graph g = driver_workload();
+  std::vector<core::MvcResult> results;
+  std::vector<std::string> telemetry;
+  for (int enabled : {1, 0}) {
+    support::set_cache_enabled(enabled);
+    obs::Registry reg;
+    {
+      obs::ScopedRegistry scope(reg);
+      results.push_back(core::mvc_chordal(g));
+    }
+    telemetry.push_back(scrub_volatile(reg.to_json()));
+  }
+  EXPECT_EQ(results[0].colors, results[1].colors);
+  EXPECT_EQ(results[0].num_colors, results[1].num_colors);
+  EXPECT_EQ(results[0].rounds, results[1].rounds);
+  EXPECT_EQ(results[0].pruning_rounds, results[1].pruning_rounds);
+  EXPECT_EQ(results[0].coloring_rounds, results[1].coloring_rounds);
+  EXPECT_EQ(results[0].correction_rounds, results[1].correction_rounds);
+  EXPECT_EQ(telemetry[0], telemetry[1]) << "telemetry diverged under cache";
+  EXPECT_TRUE(testing::is_proper_coloring(g, results[0].colors));
+}
+
+TEST(CacheParity, MisIdenticalWithAndWithoutCache) {
+  CacheRestorer restore;
+  Graph g = driver_workload();
+  std::vector<core::MisResult> results;
+  std::vector<std::string> telemetry;
+  for (int enabled : {1, 0}) {
+    support::set_cache_enabled(enabled);
+    obs::Registry reg;
+    {
+      obs::ScopedRegistry scope(reg);
+      results.push_back(core::mis_chordal(g));
+    }
+    telemetry.push_back(scrub_volatile(reg.to_json()));
+  }
+  EXPECT_EQ(results[0].chosen, results[1].chosen);
+  EXPECT_EQ(results[0].rounds, results[1].rounds);
+  EXPECT_EQ(results[0].absorbing_components, results[1].absorbing_components);
+  EXPECT_EQ(results[0].approx_components, results[1].approx_components);
+  EXPECT_EQ(telemetry[0], telemetry[1]) << "telemetry diverged under cache";
+  EXPECT_TRUE(testing::is_independent_set(g, results[0].chosen));
+}
+
+TEST(CacheParity, PerNodePruningIdenticalWithAndWithoutCache) {
+  CacheRestorer restore;
+  RandomChordalConfig config;
+  config.n = 160;
+  config.max_clique = 4;
+  config.chain_bias = 0.9;
+  config.seed = 5;
+  Graph g = random_chordal(config);
+  core::MvcOptions options;
+  options.pruning = core::PruningMode::kPerNodeLocalViews;
+  std::vector<core::MvcResult> results;
+  for (int enabled : {1, 0}) {
+    support::set_cache_enabled(enabled);
+    results.push_back(core::mvc_chordal(g, options));
+  }
+  EXPECT_EQ(results[0].colors, results[1].colors);
+  EXPECT_EQ(results[0].rounds, results[1].rounds);
+  EXPECT_EQ(results[0].pruning_rounds, results[1].pruning_rounds);
+  EXPECT_EQ(results[0].num_layers, results[1].num_layers);
+}
+
+TEST(CacheParity, AuditsIdenticalWithAndWithoutCache) {
+  CacheRestorer restore;
+  RandomChordalConfig config;
+  config.n = 200;
+  config.max_clique = 4;
+  config.chain_bias = 0.9;
+  config.seed = 13;
+  Graph g = random_chordal(config);
+  CliqueForest forest = CliqueForest::build(g);
+  const int k = 4;
+  core::PeelConfig coloring_config;
+  coloring_config.mode = core::PeelMode::kColoring;
+  coloring_config.k = k;
+  core::PeelingResult coloring_peel = core::peel(g, forest, coloring_config);
+  const int d = 4;
+  core::PeelConfig mis_config;
+  mis_config.mode = core::PeelMode::kIndependentSet;
+  mis_config.d = d;
+  mis_config.max_iterations = 6;
+  core::PeelingResult mis_peel = core::peel(g, forest, mis_config);
+  std::vector<core::LocalDecisionAudit> coloring_audits, mis_audits;
+  for (int enabled : {1, 0}) {
+    support::set_cache_enabled(enabled);
+    coloring_audits.push_back(
+        core::audit_local_pruning(g, forest, coloring_peel, k, 2));
+    mis_audits.push_back(
+        core::audit_local_pruning_mis(g, forest, mis_peel, d, 3));
+  }
+  EXPECT_EQ(coloring_audits[0].decisions_checked,
+            coloring_audits[1].decisions_checked);
+  EXPECT_EQ(coloring_audits[0].mismatches, coloring_audits[1].mismatches);
+  EXPECT_EQ(coloring_audits[0].horizon_hits, coloring_audits[1].horizon_hits);
+  EXPECT_EQ(coloring_audits[0].mismatches, 0);
+  EXPECT_EQ(mis_audits[0].decisions_checked, mis_audits[1].decisions_checked);
+  EXPECT_EQ(mis_audits[0].mismatches, mis_audits[1].mismatches);
+  EXPECT_EQ(mis_audits[0].horizon_hits, mis_audits[1].horizon_hits);
+  EXPECT_EQ(mis_audits[0].mismatches, 0);
+}
+
+}  // namespace
+}  // namespace chordal

@@ -53,6 +53,27 @@ TEST(Network, BroadcastReachesAllNeighbors) {
   }
 }
 
+TEST(Network, BroadcastSharesOnePayloadSlab) {
+  Graph g = star_graph(4);  // center 0, leaves 1..4
+  Network net(g);
+  net.broadcast(0, {5, 6, 7});
+  net.deliver();
+  const local::Payload* slab = net.inbox(1)[0].data.slab();
+  ASSERT_NE(slab, nullptr);
+  for (int leaf = 2; leaf <= 4; ++leaf) {
+    // All copies of the broadcast alias the same backing storage.
+    EXPECT_EQ(net.inbox(leaf)[0].data.slab(), slab);
+  }
+  // Accounting is still per delivered copy: 4 messages of 3 words each.
+  EXPECT_EQ(net.stats().total_messages, 4);
+  EXPECT_EQ(net.stats().total_payload_words, 12);
+  // Point-to-point sends keep private slabs.
+  net.send(1, 0, {9});
+  net.send(2, 0, {9});
+  net.deliver();
+  EXPECT_NE(net.inbox(0)[0].data.slab(), net.inbox(0)[1].data.slab());
+}
+
 TEST(Network, BroadcastOnIsolatedVertexIsSilentNoop) {
   GraphBuilder builder(3);
   builder.add_edge(0, 1);  // vertex 2 stays isolated
