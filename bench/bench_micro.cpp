@@ -16,6 +16,7 @@
 #include "local/ball.hpp"
 #include "local/ball_cache.hpp"
 #include "local/workspace.hpp"
+#include "support/cachectl.hpp"
 #include "support/parallel.hpp"
 
 namespace {
@@ -57,6 +58,58 @@ void BM_CliqueForestBuild(benchmark::State& state) {
   state.SetComplexityN(gen.graph.num_vertices());
 }
 BENCHMARK(BM_CliqueForestBuild)->Range(256, 16384)->Complexity();
+
+void BM_CliqueForestBuildReference(benchmark::State& state) {
+  // CHORDAL_FOREST_REFERENCE path: sorted-merge intersection weights,
+  // comparator-based edge sort. The gap to BM_CliqueForestBuild is the
+  // counting-sort engine's construction win.
+  auto gen = workload(static_cast<int>(state.range(0)));
+  support::set_forest_reference(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CliqueForest::build(gen.graph));
+  }
+  support::set_forest_reference(-1);
+  state.SetComplexityN(gen.graph.num_vertices());
+}
+BENCHMARK(BM_CliqueForestBuildReference)->Range(256, 16384)->Complexity();
+
+void BM_FamilyMwsf(benchmark::State& state) {
+  // The engine's hottest call shape: one Lemma 2 family forest per trusted
+  // vertex, through a warm ForestScratch - no allocations, no O(n) state.
+  auto gen = workload(2048);
+  CliqueForest forest = CliqueForest::build(gen.graph);
+  ForestScratch scratch;
+  std::vector<std::pair<int, int>> edges;
+  int v = 0;
+  for (auto _ : state) {
+    edges.clear();
+    family_forest_edges(forest.cliques(), forest.cliques_of(v), scratch,
+                        edges);
+    benchmark::DoNotOptimize(edges.data());
+    v = (v + 37) % gen.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_FamilyMwsf);
+
+void BM_FamilyMwsfReference(benchmark::State& state) {
+  // What compute_local_view used to do per trusted vertex: deep-copy the
+  // family cliques, then run the allocating reference Kruskal whose
+  // membership table is sized to the whole graph. The ratio to
+  // BM_FamilyMwsf is the per-call improvement of the engine.
+  auto gen = workload(2048);
+  CliqueForest forest = CliqueForest::build(gen.graph);
+  int v = 0;
+  for (auto _ : state) {
+    const auto& family = forest.cliques_of(v);
+    std::vector<std::vector<int>> family_cliques;
+    family_cliques.reserve(family.size());
+    for (int c : family) family_cliques.push_back(forest.clique(c));
+    benchmark::DoNotOptimize(max_weight_spanning_forest_reference(
+        family_cliques, gen.graph.num_vertices()));
+    v = (v + 37) % gen.graph.num_vertices();
+  }
+}
+BENCHMARK(BM_FamilyMwsfReference);
 
 void BM_BallCollection(benchmark::State& state) {
   auto gen = workload(2048);

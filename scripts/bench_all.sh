@@ -8,9 +8,16 @@
 #   CHORDAL_BALL_CACHE=1 scripts/bench_all.sh CACHED
 #   scripts/bench_diff.py BENCH_PEELING_UNCACHED.json BENCH_PEELING_CACHED.json
 #
-# Environment variables (CHORDAL_BALL_CACHE, CHORDAL_THREADS) pass through
-# to the benches. BUILD_DIR overrides the build tree (default:
-# build-release, configured and built on demand).
+# The forest-engine evidence pairs are produced the same way with the
+# CHORDAL_FOREST_REFERENCE gate:
+#
+#   CHORDAL_FOREST_REFERENCE=1 scripts/bench_all.sh BEFORE
+#   scripts/bench_all.sh AFTER
+#   scripts/bench_diff.py BENCH_FOREST_BEFORE.json BENCH_FOREST_AFTER.json
+#
+# Environment variables (CHORDAL_BALL_CACHE, CHORDAL_FOREST_REFERENCE,
+# CHORDAL_THREADS) pass through to the benches. BUILD_DIR overrides the
+# build tree (default: build-release, configured and built on demand).
 #
 # Usage: scripts/bench_all.sh [suffix]
 set -euo pipefail
@@ -33,6 +40,7 @@ run_table_bench() {
 
 run_table_bench bench_peeling PEELING
 run_table_bench bench_local_views LOCAL_VIEWS
+run_table_bench bench_forest FOREST
 run_table_bench bench_mvc_rounds MVC_ROUNDS
 run_table_bench bench_mis_chordal MIS_CHORDAL
 

@@ -47,4 +47,20 @@ python3 "$repo/scripts/bench_diff.py" --parity \
   "$smoke_dir/uncached.json" "$smoke_dir/cached.json"
 
 echo
+echo "== Forest engine parity smoke (fast vs CHORDAL_FOREST_REFERENCE) =="
+# The counting-sort forest engine and the reference sorted-merge Kruskal
+# must agree on every output cell of the forest bench and of a driver-level
+# run; only timings and cache.*/engine.* effectiveness telemetry may move.
+"$repo/build-release/bench/bench_forest" \
+  --json "$smoke_dir/forest_fast.json" >/dev/null
+CHORDAL_FOREST_REFERENCE=1 "$repo/build-release/bench/bench_forest" \
+  --json "$smoke_dir/forest_ref.json" >/dev/null
+python3 "$repo/scripts/bench_diff.py" --parity \
+  "$smoke_dir/forest_fast.json" "$smoke_dir/forest_ref.json"
+CHORDAL_FOREST_REFERENCE=1 "$repo/build-release/bench/bench_local_views" \
+  --json "$smoke_dir/views_ref.json" >/dev/null
+python3 "$repo/scripts/bench_diff.py" --parity \
+  "$smoke_dir/cached.json" "$smoke_dir/views_ref.json"
+
+echo
 echo "All configurations passed."

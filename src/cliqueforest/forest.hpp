@@ -50,8 +50,42 @@ class CliqueForest {
 
 /// Kruskal selection shared with local-view computation: returns the edges
 /// of the unique MWSF of the W_G induced by `cliques`, processing edges in
-/// decreasing deterministic order.
+/// decreasing deterministic order. Routed through the near-linear
+/// ForestScratch engine (see the overload below) unless
+/// support::forest_reference_enabled() forces the reference path; outputs
+/// are bit-identical either way.
 std::vector<WcigEdge> max_weight_spanning_forest(
     const std::vector<std::vector<int>>& cliques, int num_graph_vertices);
+
+/// Allocation-free engine form: counting-sort W_G edge enumeration
+/// (wcig_edges_counting), a weight-bucketed counting sort in place of the
+/// comparison sort (weights are at most omega), and integer
+/// (weight, min rank, max rank) tie-breaks via a one-time lexicographic
+/// ranking of the clique words (the identity for canonical sorted
+/// families). `out` receives the chosen edges in decreasing deterministic
+/// order, exactly as max_weight_spanning_forest_reference emits them.
+void max_weight_spanning_forest(
+    const std::vector<std::vector<int>>& cliques, int num_graph_vertices,
+    ForestScratch& scratch, std::vector<WcigEdge>& out);
+
+/// The original allocating construction (wcig_edges + O(omega) comparator
+/// sort + fresh UnionFind), kept verbatim as the differential-test oracle
+/// for the engine and as the CHORDAL_FOREST_REFERENCE fallback.
+std::vector<WcigEdge> max_weight_spanning_forest_reference(
+    const std::vector<std::vector<int>>& cliques, int num_graph_vertices);
+
+/// Per-family MWSF for local views (Lemma 2): selects the spanning forest
+/// of W restricted to the family {cliques[c] : c in family} and appends the
+/// chosen edges to `out` as (min, max) pairs of clique indices. Requires
+/// `cliques` strictly lexicographically sorted (so rank == index and the
+/// paper's word tie-breaks are integer comparisons), `family` ascending,
+/// and every pair of family cliques intersecting (they share the defining
+/// vertex u, making W[phi(u)] complete) - exactly the shape
+/// compute_local_view produces. Touches only family-sized scratch: no O(n)
+/// membership array, no allocations once the scratch is warm.
+void family_forest_edges(const std::vector<std::vector<int>>& cliques,
+                         const std::vector<int>& family,
+                         ForestScratch& scratch,
+                         std::vector<std::pair<int, int>>& out);
 
 }  // namespace chordal

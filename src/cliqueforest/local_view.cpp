@@ -59,8 +59,10 @@ LocalView compute_local_view(const Graph& g, int observer, int radius,
   std::sort(view.trusted_vertices.begin(), view.trusted_vertices.end());
 
   // For each trusted u: the unique MWSF of W restricted to phi(u) equals
-  // T(u) (Lemma 2). Union all such edges.
+  // T(u) (Lemma 2). Union all such edges. The family indexes directly into
+  // view.cliques through the scratch engine - no per-vertex deep copies.
   std::vector<std::pair<int, int>> edges;
+  ForestScratch scratch;
   std::size_t cursor = 0;
   std::vector<int> family;
   for (int u : view.trusted_vertices) {
@@ -71,16 +73,7 @@ LocalView compute_local_view(const Graph& g, int observer, int radius,
       family.push_back(phi_pairs[cursor].second);
       ++cursor;
     }
-    if (family.size() < 2) continue;
-    std::vector<std::vector<int>> family_cliques;
-    family_cliques.reserve(family.size());
-    for (int c : family) family_cliques.push_back(view.cliques[c]);
-    for (const auto& e :
-         max_weight_spanning_forest(family_cliques, g.num_vertices())) {
-      int a = family[e.a];
-      int b = family[e.b];
-      edges.emplace_back(std::min(a, b), std::max(a, b));
-    }
+    family_forest_edges(view.cliques, family, scratch, edges);
   }
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());

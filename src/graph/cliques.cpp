@@ -108,6 +108,26 @@ std::vector<std::vector<int>> maximal_cliques_bruteforce(const Graph& g) {
   return out;
 }
 
+bool cliques_lex_sorted(const std::vector<std::vector<int>>& cliques) {
+  for (std::size_t c = 1; c < cliques.size(); ++c) {
+    if (!(cliques[c - 1] < cliques[c])) return false;
+  }
+  return true;
+}
+
+std::vector<int> clique_lex_ranks(
+    const std::vector<std::vector<int>>& cliques) {
+  const int m = static_cast<int>(cliques.size());
+  std::vector<int> order(static_cast<std::size_t>(m));
+  for (int c = 0; c < m; ++c) order[c] = c;
+  std::stable_sort(order.begin(), order.end(), [&cliques](int a, int b) {
+    return cliques[a] < cliques[b];
+  });
+  std::vector<int> ranks(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) ranks[order[r]] = r;
+  return ranks;
+}
+
 int max_clique_size_chordal(const Graph& g) {
   std::size_t best = 0;
   for (const auto& c : maximal_cliques_chordal(g)) {

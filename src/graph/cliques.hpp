@@ -31,4 +31,18 @@ std::vector<std::vector<int>> maximal_cliques_bruteforce(const Graph& g);
 /// Size of the largest clique of a chordal graph == chromatic number chi(G).
 int max_clique_size_chordal(const Graph& g);
 
+/// True when the clique words are strictly increasing lexicographically -
+/// the canonical order produced by maximal_cliques_chordal and required by
+/// the fast forest engine's rank-free tie-breaks (rank == index).
+bool cliques_lex_sorted(const std::vector<std::vector<int>>& cliques);
+
+/// Lexicographic rank of every clique word within the family: ranks[c] == r
+/// means cliques[c] is the r-th smallest word. Computed once per family so
+/// the paper's tie-break order on W_G edges becomes integer comparison on
+/// (weight, min rank, max rank) instead of repeated O(omega) word
+/// comparisons. Identity for canonical (sorted, distinct) families; ties
+/// between equal words are broken by index.
+std::vector<int> clique_lex_ranks(
+    const std::vector<std::vector<int>>& cliques);
+
 }  // namespace chordal

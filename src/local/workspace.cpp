@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "cliqueforest/wcig.hpp"
+#include "cliqueforest/forest.hpp"
 #include "graph/cliques.hpp"
 #include "obs/span.hpp"
-#include "support/union_find.hpp"
 
 namespace chordal::local {
 
@@ -98,27 +97,6 @@ void collect_ball(const Graph& g, int center, int radius,
   }
 }
 
-namespace {
-
-int intersection_size(const std::vector<int>& a, const std::vector<int>& b) {
-  int weight = 0;
-  std::size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++weight;
-      ++i;
-      ++j;
-    }
-  }
-  return weight;
-}
-
-}  // namespace
-
 namespace detail {
 
 void view_from_ball(const Ball& ball, int radius, BallWorkspace& ws,
@@ -157,15 +135,14 @@ void view_from_ball(const Ball& ball, int radius, BallWorkspace& ws,
   }
   std::sort(out.trusted_vertices.begin(), out.trusted_vertices.end());
 
-  // For each trusted u, Kruskal on the W-edges of phi(u). Every clique of
-  // the family contains u, so the family's intersection graph is complete:
-  // the pairwise edges can be enumerated directly, with no global
-  // membership table. The paper's total order on edges (weight, then the
-  // cliques' sorted ID words) makes the result identical to
-  // max_weight_spanning_forest on the same family.
+  // For each trusted u, the MWSF of the W-edges of phi(u) via the
+  // ForestScratch engine: counting-everything weights, weight-bucketed
+  // counting sort, integer tie-breaks (word order == index order for the
+  // sorted view cliques). Identical chosen edges to
+  // max_weight_spanning_forest on the same family, with zero allocations
+  // once the scratch is warm.
   auto& edges_out = out.forest_edges;
   std::size_t p = 0;
-  const auto& cliques = out.cliques;
   for (int u : out.trusted_vertices) {
     while (p < ws.phi_pairs.size() && ws.phi_pairs[p].first < u) ++p;
     ws.family.clear();
@@ -173,39 +150,7 @@ void view_from_ball(const Ball& ball, int radius, BallWorkspace& ws,
       ws.family.push_back(ws.phi_pairs[p].second);
       ++p;
     }
-    const auto& family = ws.family;
-    if (family.size() < 2) continue;
-    std::vector<WcigEdge> edges;
-    edges.reserve(family.size() * (family.size() - 1) / 2);
-    for (std::size_t i = 0; i < family.size(); ++i) {
-      for (std::size_t j = i + 1; j < family.size(); ++j) {
-        edges.push_back({static_cast<int>(i), static_cast<int>(j),
-                         intersection_size(cliques[family[i]],
-                                           cliques[family[j]])});
-      }
-    }
-    auto word = [&](int family_local) -> const std::vector<int>& {
-      return cliques[family[family_local]];
-    };
-    std::sort(edges.begin(), edges.end(),
-              [&word](const WcigEdge& e, const WcigEdge& f) {
-                // Decreasing in the paper's order (see wcig_edge_less).
-                if (e.weight != f.weight) return e.weight > f.weight;
-                const auto& el = std::min(word(e.a), word(e.b));
-                const auto& eh = std::max(word(e.a), word(e.b));
-                const auto& fl = std::min(word(f.a), word(f.b));
-                const auto& fh = std::max(word(f.a), word(f.b));
-                if (el != fl) return fl < el;
-                return fh < eh;
-              });
-    UnionFind uf(static_cast<int>(family.size()));
-    for (const auto& e : edges) {
-      if (uf.unite(e.a, e.b)) {
-        int a = family[e.a];
-        int b = family[e.b];
-        edges_out.emplace_back(std::min(a, b), std::max(a, b));
-      }
-    }
+    family_forest_edges(out.cliques, ws.family, ws.forest, edges_out);
   }
   std::sort(edges_out.begin(), edges_out.end());
   edges_out.erase(std::unique(edges_out.begin(), edges_out.end()),

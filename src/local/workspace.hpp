@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cliqueforest/local_view.hpp"
+#include "cliqueforest/wcig.hpp"
 #include "graph/graph.hpp"
 #include "local/ball.hpp"
 #include "obs/metrics.hpp"
@@ -62,7 +63,8 @@ class BallWorkspace {
   std::vector<int> adj;                    // CSR assembly, ball-sized
   std::vector<std::pair<int, int>> phi_pairs;  // (vertex, clique index)
   std::vector<int> family;                     // phi(u) clique indices
-  Ball ball;                                   // reused by local view
+  ForestScratch forest;  // per-family MWSF engine scratch (Lemma 2)
+  Ball ball;             // reused by local view
 };
 
 /// Workspace form of collect_ball: identical Ball (vertices, graph, dist),
