@@ -36,6 +36,13 @@ CHORDAL_THREADS=4 run_config "$repo/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHORDAL_TSAN=ON
 
 echo
+echo "== Fuzz/audit smoke (pinned-seed corpus under ASan+UBSan) =="
+# The sanitizer build above is reused; CHORDAL_FUZZ_ITERS (default 500)
+# scales the corpus for deeper soaks. scripts/fuzz.sh is the standalone
+# entry point with the same knob.
+CHORDAL_FUZZ_DIR="$repo/build-san" "$repo/scripts/fuzz.sh"
+
+echo
 echo "== Cache parity smoke (cached vs uncached driver run) =="
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT

@@ -1,0 +1,122 @@
+// Invariant auditors: one executable checker per paper claim, callable from
+// tests, the fuzz runner, and ad-hoc driver harnesses.
+//
+// Style follows Polishchuk & Suomela (arXiv:0810.2175): every claim the
+// system relies on is restated as a concrete predicate over a concrete run,
+// and violations throw AuditFailure with the claim and the witness spelled
+// out. The auditors are deliberately independent re-derivations - they use
+// the exact centralized baselines as ground truth rather than trusting any
+// driver-side bookkeeping.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cliqueforest/forest.hpp"
+#include "core/mis.hpp"
+#include "core/mvc.hpp"
+#include "graph/graph.hpp"
+#include "obs/metrics.hpp"
+
+namespace chordal::audit {
+
+/// Thrown by every auditor on an invariant violation. The message names the
+/// claim and the offending witness (vertex, edge, counter, ...).
+class AuditFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// ---------------------------------------------------------------------------
+// Per-claim auditors
+// ---------------------------------------------------------------------------
+
+/// Theorem 3 / Lemma 9-10: the MVC result is a proper coloring of g using
+/// at most omega + omega/k + 1 colors, its self-reported counters are
+/// consistent, and omega matches the exact chromatic number (chordal: chi
+/// == omega).
+void audit_coloring(const Graph& g, const core::MvcResult& r);
+
+/// Theorem 7/8: the MIS result is an independent set with
+/// (1 + eps) * |I| >= alpha(G), sorted and duplicate-free.
+void audit_mis(const Graph& g, const core::MisResult& r, double eps);
+
+/// True iff `set` is independent and no vertex outside it can be added.
+bool is_maximal_independent_set(const Graph& g, std::span<const int> set);
+
+/// Theorem 2: the clique forest is a valid clique tree of g - the
+/// tree-decomposition axioms (via CliqueForest::verify), every stored bag
+/// is a maximal clique of g, membership lists match bag contents, and the
+/// forest has exactly (#cliques - #components of the clique intersection
+/// graph) edges, i.e. it spans every component.
+void audit_clique_forest(const Graph& g, const CliqueForest& forest);
+
+/// Theorem 2 uniqueness, differentially: the counting-sort engine and the
+/// reference sorted-merge Kruskal select the identical spanning forest.
+void audit_forest_engine_parity(const std::vector<std::vector<int>>& cliques,
+                                int num_graph_vertices);
+
+/// Ledger/telemetry conservation over a finished run's registry: the
+/// published totals must equal the sum of their per-round charges -
+/// counter net.messages == sum(net.round_messages samples), counter
+/// net.payload_words == sum(net.round_payload_words samples), and counter
+/// net.rounds == the number of recorded round samples. Catches both lost
+/// deliveries and double-published totals.
+void audit_network_conservation(const obs::Registry& reg);
+
+/// Drivers must reject non-chordal input with std::invalid_argument (from
+/// peo_or_throw), never crash, hang, or return garbage.
+void audit_rejects_non_chordal(const Graph& g);
+
+// ---------------------------------------------------------------------------
+// Differential driver harness
+// ---------------------------------------------------------------------------
+
+struct DriverAuditConfig {
+  int threads = 1;
+  bool cache = true;
+  bool forest_reference = false;
+  double eps_color = 0.5;
+  double eps_mis = 0.25;
+  /// Run the per-node-local-views pruning mode and assert it matches the
+  /// global mode (Lemma 12). One local view per node per iteration - only
+  /// enabled for small inputs by the callers.
+  bool check_per_node_pruning = false;
+  std::uint64_t dplus1_seed = 0x5eed;
+
+  std::string label() const;
+};
+
+/// Everything a config's run produced that must be identical across
+/// (threads, cache, engine) - the cross-config differential signature.
+struct DriverAuditResult {
+  std::vector<int> colors;
+  int num_colors = 0;
+  std::vector<int> mis;
+  std::int64_t mvc_rounds = 0;
+  std::int64_t mis_rounds = 0;
+  int num_layers = 0;
+  /// Registry signature: counters/gauges/histograms (cache.* and engine.*
+  /// effectiveness metrics excluded) plus the span tree without wall times.
+  std::string telemetry;
+};
+
+bool operator==(const DriverAuditResult& a, const DriverAuditResult& b);
+
+/// Runs every driver (MVC both modes when requested, MIS, Delta+1 over the
+/// Network engine, clique forest + engine parity, exact baselines) on g
+/// under the given execution config with all per-claim auditors enabled,
+/// and returns the differential signature. Thread count, cache, and forest
+/// engine settings are restored on exit.
+DriverAuditResult run_driver_audit(const Graph& g,
+                                   const DriverAuditConfig& config);
+
+/// The full execution matrix of one graph: threads {1, 8} x cache {on,
+/// off} x engine {fast, ref}, each audited, with all eight signatures
+/// asserted identical. Returns the number of configurations run.
+int run_driver_audit_matrix(const Graph& g, double eps_color, double eps_mis,
+                            bool check_per_node_pruning);
+
+}  // namespace chordal::audit

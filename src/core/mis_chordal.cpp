@@ -31,18 +31,21 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
     throw std::invalid_argument("mis_chordal: eps must be in (0, 1/2)");
   }
   MisResult result;
-  if (g.num_vertices() == 0) return result;
-
-  obs::Span span("MIS Algorithm 6 (Theorems 7/8)");
-  const bool telemetry = span.live();
-  std::vector<std::int64_t> congestion;
-
+  // The scale parameters are pure functions of eps; fill them before the
+  // degenerate early return so the result contract holds for n = 0 too
+  // (fuzz-found: d/iterations stayed 0 on the empty graph).
   result.d = options.d_override > 0
                  ? options.d_override
                  : static_cast<int>(std::ceil(64.0 / options.eps));
   result.iterations = static_cast<int>(std::ceil(std::log2(
                           static_cast<double>(result.d) / options.eps))) +
                       2;
+  if (g.num_vertices() == 0) return result;
+
+  obs::Span span("MIS Algorithm 6 (Theorems 7/8)");
+  const bool telemetry = span.live();
+  std::vector<std::int64_t> congestion;
+
   if (telemetry) {
     congestion.assign(static_cast<std::size_t>(g.num_vertices()), 0);
     span.note("n", g.num_vertices());

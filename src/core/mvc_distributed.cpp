@@ -395,7 +395,13 @@ MvcResult mvc_chordal(const Graph& g, const MvcOptions& options) {
   if (options.eps <= 0) {
     throw std::invalid_argument("mvc_chordal: eps must be positive");
   }
-  if (g.num_vertices() == 0) return {};
+  if (g.num_vertices() == 0) {
+    // Degenerate input still honors the result contract: k is a pure
+    // function of eps, not of the graph (fuzz-found: k stayed 0 here).
+    MvcResult result;
+    result.k = std::max(2, static_cast<int>(std::ceil(2.0 / options.eps)));
+    return result;
+  }
   Engine engine(g, options);
   engine.run();
   return engine.result;

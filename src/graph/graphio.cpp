@@ -1,5 +1,6 @@
 #include "graph/graphio.hpp"
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,18 +12,40 @@ void write_graph(std::ostream& out, const Graph& g) {
 }
 
 Graph read_graph(std::istream& in) {
-  int n = 0;
-  std::size_t m = 0;
-  if (!(in >> n >> m)) {
-    throw std::runtime_error("read_graph: malformed header");
+  // Every field is validated before it reaches GraphBuilder, so a hostile
+  // or truncated stream produces a runtime_error naming the offending line
+  // (line 1 is the "n m" header; edge i lives on line i + 2 of the
+  // canonical format) instead of a builder error with no input context.
+  auto fail = [](long long line, const std::string& what) {
+    throw std::runtime_error("read_graph: line " + std::to_string(line) +
+                             ": " + what);
+  };
+  long long n = 0;
+  long long m = 0;
+  if (!(in >> n)) fail(1, "malformed header (expected vertex count)");
+  if (n < 0) fail(1, "negative vertex count " + std::to_string(n));
+  if (n > std::numeric_limits<int>::max()) {
+    fail(1, "vertex count " + std::to_string(n) + " overflows int");
   }
-  GraphBuilder b(n);
-  for (std::size_t i = 0; i < m; ++i) {
-    int u = 0, v = 0;
-    if (!(in >> u >> v)) {
-      throw std::runtime_error("read_graph: truncated edge list");
+  if (!(in >> m)) fail(1, "malformed header (expected edge count)");
+  if (m < 0) fail(1, "negative edge count " + std::to_string(m));
+  long long max_edges = n * (n - 1) / 2;
+  if (m > max_edges) {
+    fail(1, "edge count " + std::to_string(m) + " exceeds n*(n-1)/2 = " +
+                std::to_string(max_edges) + " for n = " + std::to_string(n));
+  }
+  GraphBuilder b(static_cast<int>(n));
+  for (long long i = 0; i < m; ++i) {
+    long long line = i + 2;
+    long long u = 0, v = 0;
+    if (!(in >> u >> v)) fail(line, "truncated edge list");
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      fail(line, "endpoint out of range in edge (" + std::to_string(u) +
+                     ", " + std::to_string(v) + "), valid vertices are [0, " +
+                     std::to_string(n) + ")");
     }
-    b.add_edge(u, v);
+    if (u == v) fail(line, "self-loop at vertex " + std::to_string(u));
+    b.add_edge(static_cast<int>(u), static_cast<int>(v));
   }
   return b.build();
 }

@@ -1,5 +1,11 @@
 // Minimal text serialization: line 1 is "n m", followed by m lines "u v".
 // Used by the examples so scenarios can be saved and re-run.
+//
+// read_graph validates every field before construction — negative or
+// overflowing n, negative or absurd m (> n*(n-1)/2), out-of-range
+// endpoints, and self-loops are rejected with a std::runtime_error naming
+// the offending line. Duplicate edges are tolerated (the builder
+// deduplicates), so read -> write canonicalizes.
 #pragma once
 
 #include <iosfwd>

@@ -87,7 +87,11 @@ void Network::deliver() {
 
 void Network::publish_metrics() const {
   obs::Registry* reg = obs::current();
-  if (reg == nullptr || published_ || rounds_ == 0) return;
+  if (reg == nullptr || published_) return;
+  // Publish whenever the run left any trace. Gating on rounds_ alone
+  // silently dropped nonzero totals when traffic was sent but deliver()
+  // was never called — exactly the runs whose ledgers need inspecting.
+  if (rounds_ == 0 && stats_.total_messages == 0) return;
   published_ = true;
   reg->counter("net.messages").add(stats_.total_messages);
   reg->counter("net.payload_words").add(stats_.total_payload_words);

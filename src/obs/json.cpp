@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace chordal::obs {
@@ -104,8 +105,15 @@ void JsonWriter::value(double v) {
   if (!std::isfinite(v)) {
     out_ += "null";
   } else {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    // Shortest representation that round-trips: %.12g silently corrupted
+    // integer-valued counters above ~2^39 (13+ significant digits). Try
+    // increasing precision until strtod recovers the exact value; %.17g
+    // always does for finite doubles (DBL_DECIMAL_DIG).
+    char buf[40];
+    for (int precision = 12; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+      if (std::strtod(buf, nullptr) == v) break;
+    }
     out_ += buf;
   }
   if (stack_.empty()) done_ = true;

@@ -50,6 +50,7 @@ class Histogram {
  public:
   void add(double v) { samples_.add(v); }
   std::size_t count() const { return samples_.count(); }
+  double sum() const { return samples_.sum(); }
   double min() const { return samples_.min(); }
   double max() const { return samples_.max(); }
   double mean() const { return samples_.mean(); }
@@ -89,6 +90,14 @@ class Registry {
   /// Lookup without creation (nullptr when absent); for tests/inspection.
   const Counter* find_counter(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
+
+  /// Full metric maps, for auditors and exporters that need to enumerate
+  /// every published name (e.g. the conservation checks in src/audit).
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   /// Span-stack plumbing used by obs::Span; spans nest strictly.
   SpanNode* open_span(std::string name);

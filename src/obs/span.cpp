@@ -1,10 +1,21 @@
 #include "obs/span.hpp"
 
+#include "support/parallel.hpp"
+
 namespace chordal::obs {
 
 Span::Span(std::string_view name) {
   Registry* reg = current();
   if (reg == nullptr) return;
+  // Spans opened inside a parallel_for body would be recorded only by
+  // whichever workers happen to carry the installed registry (the calling
+  // thread), making the span tree depend on the thread count. Suppress them
+  // uniformly - at every thread count, including the inline single-worker
+  // path - so trace trees are bit-identical across CHORDAL_THREADS. The
+  // charge_* statics stay live: they target the enclosing span and the
+  // engines merge per-worker deltas in worker order, which is already
+  // thread-count-invariant.
+  if (support::in_parallel_region()) return;
   registry_ = reg;
   node_ = reg->open_span(std::string(name));
   start_ = std::chrono::steady_clock::now();

@@ -11,7 +11,12 @@
 //
 // When no Registry is installed (obs::current() == nullptr) construction
 // and every method are no-ops - a pointer check - so instrumented code pays
-// nothing in normal library use.
+// nothing in normal library use. Construction is also a no-op inside a
+// support::parallel_for body (at any thread count): per-worker spans would
+// otherwise be recorded only by the thread carrying the registry, making
+// the trace tree depend on CHORDAL_THREADS. The charge_* statics remain
+// live everywhere; parallel engines route worker charges through
+// obs::Delta merges, which are thread-count-invariant.
 #pragma once
 
 #include <chrono>

@@ -143,12 +143,26 @@ void set_num_threads(int count) {
   g_thread_override = count >= 1 ? count : 0;
 }
 
+bool in_parallel_region() { return tl_in_parallel_region; }
+
 void parallel_for_ranges(std::size_t n, const RangeBody& body) {
   const auto workers = static_cast<std::size_t>(num_threads());
   if (n == 0) return;
   if (workers <= 1 || tl_in_parallel_region) {
     // Inline: identical to the worker-0 range of a one-worker partition.
-    body(0, n, 0);
+    // The region flag must be raised here too, or code keyed on
+    // in_parallel_region() would behave differently at one thread than at
+    // many (restore rather than clear: this branch also serves nested
+    // calls, where the flag is already up).
+    bool prev = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    try {
+      body(0, n, 0);
+    } catch (...) {
+      tl_in_parallel_region = prev;
+      throw;
+    }
+    tl_in_parallel_region = prev;
     return;
   }
   ThreadPool::instance().run(n, workers, body);

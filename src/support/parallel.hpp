@@ -30,6 +30,14 @@ int num_threads();
 /// <= 0 resets to the environment/hardware default.
 void set_num_threads(int count);
 
+/// True while the calling thread is executing a parallel_for body - on pool
+/// workers, on the calling thread acting as worker 0, and on the inline
+/// single-worker path alike, so the answer is independent of the configured
+/// thread count. Code whose side effects must be bit-identical at every
+/// thread count (e.g. obs::Span trees) keys off this to behave the same
+/// whether a body runs inline or on a pool thread.
+bool in_parallel_region();
+
 /// body(begin, end, worker): one contiguous index range per worker, with
 /// worker ids 0..num_threads()-1 (worker 0 runs on the calling thread).
 /// Blocks until every range finished. The first exception (by worker index)

@@ -1,6 +1,7 @@
 #include "support/rng.hpp"
 
 #include <numeric>
+#include <stdexcept>
 
 namespace chordal {
 
@@ -35,6 +36,9 @@ std::uint64_t Rng::next() {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("Rng::next_below: bound must be positive");
+  }
   // Lemire-style rejection to avoid modulo bias.
   std::uint64_t threshold = (-bound) % bound;
   for (;;) {
@@ -44,8 +48,16 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  return lo + static_cast<std::int64_t>(
-                  next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  if (hi < lo) {
+    throw std::invalid_argument("Rng::uniform_int: hi < lo (empty range)");
+  }
+  // Span arithmetic in unsigned space: hi - lo as signed overflows for
+  // ranges wider than INT64_MAX, and the full-width span wraps +1 to 0.
+  std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  std::uint64_t offset =
+      span == ~std::uint64_t{0} ? next() : next_below(span + 1);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
 }
 
 double Rng::uniform01() {
@@ -55,6 +67,7 @@ double Rng::uniform01() {
 bool Rng::chance(double p) { return uniform01() < p; }
 
 std::vector<int> Rng::permutation(int n) {
+  if (n < 0) throw std::invalid_argument("Rng::permutation: negative n");
   std::vector<int> p(static_cast<std::size_t>(n));
   std::iota(p.begin(), p.end(), 0);
   shuffle(p);

@@ -23,10 +23,14 @@ class Rng {
   /// Uniform 64-bit value.
   std::uint64_t next();
 
-  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uniform integer in [0, bound). Throws std::invalid_argument when
+  /// bound == 0 (the range is empty; the old behavior was a division by
+  /// zero, i.e. a SIGFPE crash on hostile parameters).
   std::uint64_t next_below(std::uint64_t bound);
 
-  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  /// Uniform integer in [lo, hi] inclusive. Throws std::invalid_argument
+  /// when hi < lo. Well-defined for every lo <= hi, including ranges wider
+  /// than INT64_MAX and the full 64-bit span.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Uniform double in [0, 1).

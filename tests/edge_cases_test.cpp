@@ -148,7 +148,9 @@ TEST(EdgeCases, GraphIoFileRoundTrip) {
 TEST(EdgeCases, GraphIoRejectsGarbage) {
   EXPECT_THROW(graph_from_string("not a graph"), std::runtime_error);
   EXPECT_THROW(graph_from_string("3 2\n0 1"), std::runtime_error);
-  EXPECT_THROW(graph_from_string("3 1\n0 5"), std::out_of_range);
+  // Out-of-range endpoints are now caught by read_graph itself (with the
+  // offending line in the message) instead of leaking a GraphBuilder error.
+  EXPECT_THROW(graph_from_string("3 1\n0 5"), std::runtime_error);
 }
 
 }  // namespace

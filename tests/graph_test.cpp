@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "graph/bfs.hpp"
 #include "graph/components.hpp"
@@ -41,6 +43,58 @@ TEST(Graph, EdgesRoundTripThroughIo) {
   Graph g2 = graph_from_string(graph_to_string(g));
   EXPECT_EQ(g2.num_vertices(), g.num_vertices());
   EXPECT_EQ(g2.edges(), g.edges());
+}
+
+// Regression (fuzz-found): read_graph trusted its header. A negative m
+// wrapped through size_t into a misleading "truncated" error, an absurd m
+// allocated unbounded work, and endpoint errors leaked GraphBuilder
+// exceptions with no line context. Every field is now validated before the
+// builder, and messages name the offending line.
+TEST(Graph, ReadGraphRejectsHostileHeadersWithLineContext) {
+  struct Case {
+    const char* text;
+    const char* expect_fragment;
+  };
+  const Case kCases[] = {
+      {"", "line 1"},
+      {"x", "expected vertex count"},
+      {"-3 1\n0 1\n", "negative vertex count"},
+      {"2147483648 0\n", "overflows int"},
+      {"2 -1\n", "negative edge count"},
+      {"3 99\n", "exceeds n*(n-1)/2"},
+      {"3 1\n", "truncated edge list"},
+      {"3 1\n0", "truncated edge list"},
+      {"3 1\n0 zz\n", "truncated edge list"},
+      {"3 1\n0 5\n", "endpoint out of range"},
+      {"3 1\n-1 2\n", "endpoint out of range"},
+      {"3 1\n1 1\n", "self-loop"},
+      {"3 2\n0 1\n1 3\n", "line 3"},  // second edge line is line 3
+  };
+  for (const Case& c : kCases) {
+    try {
+      graph_from_string(c.text);
+      ADD_FAILURE() << "accepted: " << c.text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("read_graph"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(c.expect_fragment),
+                std::string::npos)
+          << "input " << c.text << " gave: " << e.what();
+    }
+  }
+}
+
+TEST(Graph, ReadGraphAcceptsDuplicatesAndCanonicalizes) {
+  // Duplicate edge lines are legal input (the builder deduplicates); the
+  // parse must reach the canonical fixpoint in one serialize/reparse.
+  Graph g = graph_from_string("4 3\n0 1\n1 0\n2 3\n");
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 2u);
+  Graph g2 = graph_from_string(graph_to_string(g));
+  EXPECT_EQ(g2.edges(), g.edges());
+  // Degenerate but legal: empty graph and isolated vertices.
+  EXPECT_EQ(graph_from_string("0 0\n").num_vertices(), 0);
+  EXPECT_EQ(graph_from_string("5 0\n").num_edges(), 0u);
 }
 
 TEST(Graph, InducedSubgraphRelabelsConsistently) {

@@ -168,6 +168,41 @@ TEST(Network, PublishesMetricsToRegistry) {
   EXPECT_EQ(span.payload_words, 3);
 }
 
+// Regression (fuzz-found): publish_metrics gated on rounds_ == 0 alone, so
+// a run that sent traffic but never reached deliver() (early driver exit,
+// thrown exception) published nothing and its nonzero totals vanished from
+// the ledger. Such runs are exactly the ones worth inspecting.
+TEST(Network, PublishesTotalsWhenTrafficSentButNeverDelivered) {
+  obs::Registry reg;
+  {
+    obs::ScopedRegistry scope(reg);
+    Graph g = path_graph(3);
+    Network net(g);
+    net.send(0, 1, {1, 2, 3});
+    // No deliver(): the message stays in flight.
+  }
+  const obs::Counter* messages = reg.find_counter("net.messages");
+  ASSERT_NE(messages, nullptr);
+  EXPECT_EQ(messages->value(), 1);
+  const obs::Counter* words = reg.find_counter("net.payload_words");
+  ASSERT_NE(words, nullptr);
+  EXPECT_EQ(words->value(), 3);
+  const obs::Counter* rounds = reg.find_counter("net.rounds");
+  ASSERT_NE(rounds, nullptr);
+  EXPECT_EQ(rounds->value(), 0);
+}
+
+TEST(Network, QuietNetworkStillPublishesNothing) {
+  obs::Registry reg;
+  {
+    obs::ScopedRegistry scope(reg);
+    Graph g = path_graph(3);
+    Network net(g);  // constructed and destroyed without any traffic
+  }
+  EXPECT_EQ(reg.find_counter("net.messages"), nullptr);
+  EXPECT_EQ(reg.find_counter("net.rounds"), nullptr);
+}
+
 TEST(RoundLedgerTest, ClocksAndSynchronization) {
   RoundLedger ledger(4);
   ledger.charge(0, 10);

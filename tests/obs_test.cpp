@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstddef>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -322,6 +324,40 @@ TEST(Json, WritesNestedDocument) {
   EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
   EXPECT_NE(doc.find("\"name\":\"bench\""), std::string::npos);
   EXPECT_NE(doc.find("\"missing\":null"), std::string::npos);
+}
+
+// Regression (fuzz-found): %.12g truncated integer-valued doubles above
+// ~2^39 (13+ significant digits), so round/message totals silently lost
+// precision in bench JSON. The writer now emits the shortest representation
+// that strtod parses back to the exact same bits.
+TEST(Json, DoublesRoundTripExactly) {
+  const double cases[] = {
+      0.0,
+      -0.0,
+      0.1,
+      1.0 / 3.0,
+      6.02214076e23,
+      5e-324,  // smallest subnormal
+      static_cast<double>((1LL << 40) + 1),   // 13 digits: broke %.12g
+      static_cast<double>((1LL << 53) - 1),   // largest exact int64 double
+      9007199254740991.0,
+      -123456789012345.0,
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+  };
+  for (double v : cases) {
+    JsonWriter w;
+    w.begin_array();
+    w.value(v);
+    w.end_array();
+    std::string doc = w.str();
+    ASSERT_GE(doc.size(), 3u);
+    double parsed = std::strtod(doc.c_str() + 1, nullptr);  // skip '['
+    EXPECT_EQ(parsed, v) << doc;
+    if (v == 0.0) {  // both zeros must keep their sign bit
+      EXPECT_EQ(std::signbit(parsed), std::signbit(v)) << doc;
+    }
+  }
 }
 
 TEST(Json, NonFiniteDoublesBecomeNull) {

@@ -1,0 +1,137 @@
+// Pinned-seed fuzz/audit gate (scripts/fuzz.sh, wired into check.sh).
+//
+// Builds the structured corpus from src/audit/fuzzers.hpp and pushes every
+// case through the invariant auditors: chordal graph cases run the full
+// differential execution matrix (threads {1,8} x cache {on,off} x engine
+// {fast,ref}) with every per-claim auditor enabled; near-chordal cases must
+// be rejected with a typed exception; corrupted byte streams must parse
+// canonically or throw - never crash. Intended to run under ASan+UBSan:
+// any sanitizer report, crash, or auditor violation fails the gate.
+//
+// Usage: fuzz_runner [--seed S] [--per-family N] [--streams N]
+//                    [--max-matrix-n N] [--per-node-n N] [--verbose]
+// CHORDAL_FUZZ_ITERS scales the corpus (approximate total case count;
+// default 500, floor 60).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "audit/auditors.hpp"
+#include "audit/fuzzers.hpp"
+#include "graph/graphio.hpp"
+
+namespace {
+
+using namespace chordal;
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  return a.num_vertices() == b.num_vertices() && a.edges() == b.edges();
+}
+
+/// Parse-or-typed-throw plus canonical round-trip; returns an error
+/// description, empty on success.
+std::string check_stream(const audit::StreamCase& sc) {
+  Graph parsed;
+  bool parsed_ok = false;
+  try {
+    parsed = graph_from_string(sc.text);
+    parsed_ok = true;
+  } catch (const std::exception&) {
+    parsed_ok = false;  // typed rejection is always acceptable
+  }
+  if (sc.expect == audit::StreamExpect::kMustParse && !parsed_ok) {
+    return "well-formed stream rejected";
+  }
+  if (sc.expect == audit::StreamExpect::kMustReject && parsed_ok) {
+    return "malformed stream accepted";
+  }
+  if (parsed_ok) {
+    // Canonical fixpoint: serialize -> reparse must reproduce the graph.
+    Graph reparsed = graph_from_string(graph_to_string(parsed));
+    if (!graphs_equal(parsed, reparsed)) {
+      return "graph_from_string(graph_to_string(g)) != g";
+    }
+  }
+  return {};
+}
+
+long long arg_value(int argc, char** argv, const char* flag, long long fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long iters = 500;
+  if (const char* env = std::getenv("CHORDAL_FUZZ_ITERS")) {
+    iters = std::atoll(env);
+  }
+  if (iters < 60) iters = 60;
+
+  audit::CorpusConfig config;
+  config.seed = static_cast<std::uint64_t>(
+      arg_value(argc, argv, "--seed", 0xC0FFEE));
+  // Default split: ~70% byte streams (cheap), ~30% graph matrix runs.
+  config.num_streams =
+      static_cast<int>(arg_value(argc, argv, "--streams", iters * 7 / 10));
+  config.per_graph_family = static_cast<int>(arg_value(
+      argc, argv, "--per-family", (iters - config.num_streams) / 4));
+  long long max_matrix_n = arg_value(argc, argv, "--max-matrix-n", 100000);
+  long long per_node_n = arg_value(argc, argv, "--per-node-n", 48);
+  bool verbose = has_flag(argc, argv, "--verbose");
+
+  audit::Corpus corpus = audit::build_corpus(config);
+  std::printf("fuzz corpus: %zu graph cases + %zu stream cases (seed %llu)\n",
+              corpus.graphs.size(), corpus.streams.size(),
+              static_cast<unsigned long long>(config.seed));
+
+  int failures = 0;
+  int matrix_configs = 0;
+  auto report = [&failures](const std::string& name, const std::string& why) {
+    ++failures;
+    std::fprintf(stderr, "FAIL %s: %s\n", name.c_str(), why.c_str());
+  };
+
+  for (const audit::StreamCase& sc : corpus.streams) {
+    std::string err = check_stream(sc);
+    if (!err.empty()) report(sc.name, err);
+    if (verbose) std::printf("stream %-28s ok\n", sc.name.c_str());
+  }
+
+  for (const audit::GraphCase& gc : corpus.graphs) {
+    try {
+      if (!gc.chordal) {
+        audit::audit_rejects_non_chordal(gc.graph);
+      } else if (gc.graph.num_vertices() <= max_matrix_n) {
+        matrix_configs += audit::run_driver_audit_matrix(
+            gc.graph, /*eps_color=*/0.5, /*eps_mis=*/0.25,
+            /*check_per_node_pruning=*/gc.graph.num_vertices() <= per_node_n);
+      }
+      if (verbose) {
+        std::printf("graph %-28s %s ok\n", gc.name.c_str(),
+                    gc.graph.summary().c_str());
+      }
+    } catch (const std::exception& e) {
+      report(gc.name, e.what());
+    }
+  }
+
+  std::printf(
+      "fuzz summary: %zu streams, %zu graphs, %d matrix configurations, "
+      "%d failure(s)\n",
+      corpus.streams.size(), corpus.graphs.size(), matrix_configs, failures);
+  return failures == 0 ? 0 : 1;
+}
