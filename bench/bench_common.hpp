@@ -12,12 +12,25 @@
 // and the phase-scoped trace spans with {rounds, messages, payload_words,
 // wall_ms} per phase). This is what the BENCH_*.json perf trajectory is
 // built from.
+//
+// Orthogonally,
+//
+//   --trace <path>         Chrome trace_event JSON (chrome://tracing,
+//                          Perfetto) of the whole run
+//   --trace-jsonl <path>   the same event stream as compact JSONL
+//
+// install an obs::Tracer for the run and export the causal event trace on
+// exit: phases, per-round network sends/delivers with message lineage,
+// peel/color/MIS decisions, cache hits/misses, forest builds. Tracing also
+// installs the registry (spans need it to record), so --trace alone still
+// produces phase tracks. scripts/trace_check.py validates the output.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -27,6 +40,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "support/table.hpp"
 
 namespace chordal::bench {
@@ -48,27 +62,51 @@ class Context {
       std::string arg = argv[i];
       if (arg == "--json" && i + 1 < argc) {
         json_path_ = argv[++i];
-      } else if (arg == "--json") {
-        std::fprintf(stderr, "--json requires a value\nusage: %s [--json <path>]\n",
-                     argv[0]);
-        std::exit(2);
       } else if (arg.rfind("--json=", 0) == 0) {
         json_path_ = arg.substr(7);
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        trace_path_ = arg.substr(8);
+      } else if (arg == "--trace-jsonl" && i + 1 < argc) {
+        trace_jsonl_path_ = argv[++i];
+      } else if (arg.rfind("--trace-jsonl=", 0) == 0) {
+        trace_jsonl_path_ = arg.substr(14);
+      } else if (arg == "--json" || arg == "--trace" ||
+                 arg == "--trace-jsonl") {
+        std::fprintf(stderr, "%s requires a value\n%s", arg.c_str(), kUsage);
+        std::exit(2);
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("usage: %s [--json <path>]\n", argv[0]);
+        std::printf("%s", kUsage);
         std::exit(0);
       } else {
-        std::fprintf(stderr, "unknown argument: %s\nusage: %s [--json <path>]\n",
-                     arg.c_str(), argv[0]);
+        std::fprintf(stderr, "unknown argument: %s\n%s", arg.c_str(), kUsage);
         std::exit(2);
       }
     }
-    if (!json_path_.empty()) scope_.emplace(registry_);
+    // Spans only record under a live registry, so tracing implies one: a
+    // --trace run without --json still gets its phase track (the registry
+    // report is simply not written).
+    if (!json_path_.empty() || trace_enabled()) scope_.emplace(registry_);
+    if (trace_enabled()) {
+      tracer_ = std::make_unique<obs::Tracer>();
+      trace_scope_.emplace(*tracer_);
+    }
     header(experiment, claim);
   }
 
   ~Context() {
-    if (json_path_.empty()) return;
+    if (trace_enabled()) {
+      trace_scope_.reset();  // stop tracing before serialization
+      if (!trace_path_.empty()) write_file(trace_path_, tracer_->to_chrome_json(), "trace");
+      if (!trace_jsonl_path_.empty()) {
+        write_file(trace_jsonl_path_, tracer_->to_jsonl(), "trace");
+      }
+    }
+    if (json_path_.empty()) {
+      scope_.reset();
+      return;
+    }
     scope_.reset();  // stop collecting before serialization
     obs::JsonWriter w;
     w.begin_object();
@@ -97,22 +135,16 @@ class Context {
     w.key("telemetry");
     registry_.write_json(w);
     w.end_object();
-    std::ofstream out(json_path_);
-    out << w.str() << "\n";
-    out.flush();
-    if (!out) {
-      // A destructor cannot change main()'s exit status, so fail as loudly
-      // as a library may: diagnose and abort the process with a nonzero code.
-      std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
-      std::exit(1);
-    }
-    std::printf("\n[json report written to %s]\n", json_path_.c_str());
+    write_file(json_path_, w.str(), "json report");
   }
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
   bool json_enabled() const { return !json_path_.empty(); }
+  bool trace_enabled() const {
+    return !trace_path_.empty() || !trace_jsonl_path_.empty();
+  }
   obs::Registry& registry() { return registry_; }
 
   /// Records a (printed) table for the JSON report; copies the cells.
@@ -121,12 +153,34 @@ class Context {
   }
 
  private:
+  static constexpr const char* kUsage =
+      "usage: <bench> [--json <path>] [--trace <path>] "
+      "[--trace-jsonl <path>]\n";
+
+  static void write_file(const std::string& path, const std::string& body,
+                         const char* what) {
+    std::ofstream out(path);
+    out << body << "\n";
+    out.flush();
+    if (!out) {
+      // A destructor cannot change main()'s exit status, so fail as loudly
+      // as a library may: diagnose and abort the process with a nonzero code.
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::printf("\n[%s written to %s]\n", what, path.c_str());
+  }
+
   std::string experiment_;
   std::string claim_;
   std::string json_path_;
+  std::string trace_path_;
+  std::string trace_jsonl_path_;
   std::vector<std::pair<std::string, Table>> tables_;
   obs::Registry registry_;
   std::optional<obs::ScopedRegistry> scope_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::optional<obs::ScopedTracer> trace_scope_;
 };
 
 /// Standard chordal workload used across experiments: prescribed clique

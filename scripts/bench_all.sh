@@ -17,13 +17,18 @@
 #
 # Environment variables (CHORDAL_BALL_CACHE, CHORDAL_FOREST_REFERENCE,
 # CHORDAL_THREADS) pass through to the benches. BUILD_DIR overrides the
-# build tree (default: build-release, configured and built on demand).
+# build tree (default: build-release, configured and built on demand) and
+# OUT_DIR the output directory (default: the repo root — set it to a
+# scratch directory for throwaway runs, e.g. the bench-gate step of
+# scripts/check.sh, which compares a fresh OUT_DIR run against the
+# committed baselines with scripts/bench_gate.py).
 #
 # Usage: scripts/bench_all.sh [suffix]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$repo/build-release}"
+out_dir="${OUT_DIR:-$repo}"
 suffix="${1:+_$1}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
@@ -33,7 +38,7 @@ if [[ ! -x "$build/bench/bench_peeling" ]]; then
 fi
 
 run_table_bench() {
-  local bench="$1" out="$repo/BENCH_$2$suffix.json"
+  local bench="$1" out="$out_dir/BENCH_$2$suffix.json"
   echo "== $bench -> $(basename "$out")"
   "$build/bench/$bench" --json "$out" >/dev/null
 }
@@ -44,7 +49,7 @@ run_table_bench bench_forest FOREST
 run_table_bench bench_mvc_rounds MVC_ROUNDS
 run_table_bench bench_mis_chordal MIS_CHORDAL
 
-out="$repo/BENCH_MICRO$suffix.json"
+out="$out_dir/BENCH_MICRO$suffix.json"
 echo "== bench_micro -> $(basename "$out")"
 "$build/bench/bench_micro" --benchmark_format=console \
   --benchmark_out_format=json --benchmark_out="$out" >/dev/null

@@ -12,7 +12,9 @@ spans, real/cpu times and run metadata on google-benchmark output, and every
 cache.* counter/gauge/histogram (the cached run publishes those, the
 uncached run does not) and every engine.* counter (allocation accounting
 that differs between the fast and CHORDAL_FOREST_REFERENCE forest
-engines) - they are effectiveness telemetry, not output.
+engines) - they are effectiveness telemetry, not output. The telemetry
+"schema" marker (absent = v1, present = v2+) is scrubbed too, so reports
+from either side of the versioning change compare clean.
 Exits nonzero and reports the first differences when anything else differs.
 Scripts use it as the cached-vs-uncached smoke gate; see scripts/check.sh.
 
@@ -58,8 +60,16 @@ def is_effectiveness_key(key):
     # engine.* counters (e.g. bench_forest's per-phase allocation counts)
     # measure *how* a configurable engine did the work, not *what* it
     # produced; the fast and reference forest engines legitimately differ
-    # on them while agreeing on every output cell.
-    return is_cache_key(key) or key.startswith("engine.")
+    # on them while agreeing on every output cell. The schema marker is
+    # format versioning, not output.
+    return is_cache_key(key) or key.startswith("engine.") or key == "schema"
+
+
+def check_schema(doc, path):
+    """Accepts telemetry schema 1 (no marker) and 2; rejects the unknown."""
+    schema = doc.get("telemetry", doc).get("schema", 1)
+    if schema not in (1, 2):
+        sys.exit(f"{path}: unsupported telemetry schema {schema!r}")
 
 
 def scrub(node):
@@ -84,13 +94,24 @@ def walk_spans(spans, prefix, out):
 
 
 def timings(doc):
-    """name -> milliseconds for either supported JSON flavor."""
+    """name -> milliseconds for either supported JSON flavor.
+
+    Tolerant of entries a file may have and its counterpart may not:
+    google-benchmark aggregate rows (BigO/RMS fits carry coefficients, not a
+    cpu_time) and malformed entries are skipped rather than raising
+    KeyError, so two files listing different bench sets still diff — the
+    caller reports unmatched names as added/removed.
+    """
     out = {}
     if "benchmarks" in doc:  # google-benchmark
         unit_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
         for bench in doc["benchmarks"]:
+            name = bench.get("name")
+            cpu_time = bench.get("cpu_time")
+            if name is None or cpu_time is None:
+                continue
             scale = unit_ms.get(bench.get("time_unit", "ns"), 1e-6)
-            out[bench["name"]] = float(bench["cpu_time"]) * scale
+            out[name] = float(cpu_time) * scale
     telemetry = doc.get("telemetry", {})
     walk_spans(telemetry.get("spans", []), "", out)
     return out
@@ -136,6 +157,8 @@ def main():
         doc_a = json.load(f)
     with open(args.b) as f:
         doc_b = json.load(f)
+    check_schema(doc_a, args.a)
+    check_schema(doc_b, args.b)
 
     if args.parity:
         scrubbed_a, scrubbed_b = scrub(doc_a), scrub(doc_b)
@@ -153,6 +176,10 @@ def main():
     shared = [name for name in times_a if name in times_b]
     if not shared:
         print("no common benches/spans to compare", file=sys.stderr)
+        for name in sorted(times_b):
+            print(f"(added, only in B)   {name}", file=sys.stderr)
+        for name in sorted(times_a):
+            print(f"(removed, only in A) {name}", file=sys.stderr)
         return 1
     width = max(len(name) for name in shared)
     print(f"{'bench':<{width}}  {'A ms':>12}  {'B ms':>12}  {'delta':>9}  ratio")
@@ -163,10 +190,10 @@ def main():
             f"{name:<{width}}  {ta:>12.3f}  {tb:>12.3f}  "
             f"{tb - ta:>+9.3f}  {ratio:.3f}x"
         )
-    only = sorted(set(times_a) ^ set(times_b))
-    for name in only:
-        which = "A" if name in times_a else "B"
-        print(f"(only in {which}) {name}")
+    for name in sorted(set(times_b) - set(times_a)):
+        print(f"(added, only in B)   {name}")
+    for name in sorted(set(times_a) - set(times_b)):
+        print(f"(removed, only in A) {name}")
     return 0
 
 

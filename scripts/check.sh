@@ -3,7 +3,11 @@
 # combined ASan+UBSan configuration, and the ThreadSanitizer configuration
 # (which exercises the parallel_for drivers at several worker counts),
 # then a cache-parity smoke run: one driver bench executed cached and
-# uncached must produce identical JSON outside timing and cache.* fields.
+# uncached must produce identical JSON outside timing and cache.* fields,
+# a trace smoke run (--trace output must validate: well-formed Chrome
+# JSON, monotone ticks, resolvable message lineage, counts matching the
+# telemetry report), and the bench-regression gate (a fresh bench_all.sh
+# run must stay within tolerance of the committed BENCH_*.json baselines).
 # All must pass.
 #
 # Usage: scripts/check.sh [extra ctest args...]
@@ -54,6 +58,20 @@ python3 "$repo/scripts/bench_diff.py" --parity \
   "$smoke_dir/uncached.json" "$smoke_dir/cached.json"
 
 echo
+echo "== Trace smoke (--trace output validates against telemetry) =="
+# One driver bench (no Network) and one message-passing bench: between
+# them every event family is exercised — phases, peel/color/MIS decisions,
+# cache traffic, forest builds, and network send/deliver lineage.
+"$repo/build-release/bench/bench_mvc_rounds" \
+  --trace "$smoke_dir/mvc.trace.json" --json "$smoke_dir/mvc.json" >/dev/null
+python3 "$repo/scripts/trace_check.py" "$smoke_dir/mvc.trace.json" \
+  --telemetry "$smoke_dir/mvc.json"
+"$repo/build-release/bench/bench_baselines" \
+  --trace "$smoke_dir/base.trace.json" --json "$smoke_dir/base.json" >/dev/null
+python3 "$repo/scripts/trace_check.py" "$smoke_dir/base.trace.json" \
+  --telemetry "$smoke_dir/base.json"
+
+echo
 echo "== Forest engine parity smoke (fast vs CHORDAL_FOREST_REFERENCE) =="
 # The counting-sort forest engine and the reference sorted-merge Kruskal
 # must agree on every output cell of the forest bench and of a driver-level
@@ -68,6 +86,15 @@ CHORDAL_FOREST_REFERENCE=1 "$repo/build-release/bench/bench_local_views" \
   --json "$smoke_dir/views_ref.json" >/dev/null
 python3 "$repo/scripts/bench_diff.py" --parity \
   "$smoke_dir/cached.json" "$smoke_dir/views_ref.json"
+
+echo
+echo "== Bench regression gate (fresh run vs committed baselines) =="
+# Regenerates the canonical (unsuffixed) bench set into the smoke dir and
+# compares it against the committed BENCH_*.json; suffixed A/B variants
+# (CACHED/UNCACHED/BEFORE/AFTER/...) are skipped automatically.
+OUT_DIR="$smoke_dir" BUILD_DIR="$repo/build-release" \
+  "$repo/scripts/bench_all.sh" >/dev/null
+python3 "$repo/scripts/bench_gate.py" --fresh-dir "$smoke_dir"
 
 echo
 echo "All configurations passed."

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by --trace.
+
+Checks, in order:
+
+  structure   the file parses, carries a traceEvents array in the
+              JSON-object form, and every event has the trace_event
+              required keys (name/ph/ts/pid/tid)
+  ticks       the logical tick (args.tick, the tracer's deterministic
+              merge order) is strictly increasing within every track
+              (tid) and globally unique across the file
+  phases      "B"/"E" events nest: never an end without a begin, and
+              every begin is closed by end-of-file
+  lineage     every net.deliver resolves through args.lineage to exactly
+              one net.send with a strictly smaller tick (causality: a
+              message is delivered after the send that created it)
+
+When the tracer's bounded ring wrapped (otherData.dropped_events > 0) the
+oldest events are gone, so an end may have lost its begin and a deliver its
+send; those two checks then only reject *inconsistent* survivors (a send
+that is present but not before its deliver) rather than missing ones, and
+the --telemetry count cross-checks are skipped.
+
+With --telemetry <path> (the same run's --json report) it additionally
+cross-checks the trace against the telemetry tree: the number of net.round
+events must equal the net.rounds counter, and the number of phase begins
+must equal the number of spans (both counted over the whole run).
+
+Exit status: 0 = valid, 1 = validation failure, 2 = unreadable input.
+Only the Python standard library is used.
+
+Usage:
+  scripts/trace_check.py trace.json [--telemetry report.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"trace_check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def count_spans(spans):
+    return sum(1 + count_spans(s.get("children", [])) for s in spans)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace")
+    parser.add_argument("--telemetry", help="--json report of the same run")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"trace_check: cannot read {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents array (expected the JSON-object trace form)")
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+
+    last_tick_by_tid = {}
+    seen_ticks = set()
+    open_phases = {}  # tid -> depth
+    sends = {}  # lineage id -> send tick
+    delivers = []  # (tick, lineage)
+    rounds = 0
+    phase_begins = 0
+
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} missing {key!r}: {ev!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue  # metadata (thread names) carries no ts
+        if "ts" not in ev:
+            fail(f"event {i} missing 'ts': {ev!r}")
+        tid = ev["tid"]
+        tick = ev.get("args", {}).get("tick")
+        if tick is not None:
+            if tick in seen_ticks:
+                fail(f"event {i}: duplicate tick {tick}")
+            seen_ticks.add(tick)
+            last = last_tick_by_tid.get(tid)
+            if last is not None and tick <= last:
+                fail(f"event {i}: tick {tick} <= {last} on track tid={tid}")
+            last_tick_by_tid[tid] = tick
+        if ph == "B":
+            open_phases[tid] = open_phases.get(tid, 0) + 1
+            phase_begins += 1
+        elif ph == "E":
+            depth = open_phases.get(tid, 0)
+            if depth == 0 and not dropped:
+                fail(f"event {i}: phase end without begin on tid={tid}")
+            open_phases[tid] = max(0, depth - 1)
+        name = ev["name"]
+        if name == "net.send":
+            lineage = ev.get("args", {}).get("lineage")
+            if lineage is None:
+                fail(f"event {i}: net.send without lineage")
+            if lineage in sends:
+                fail(f"event {i}: duplicate send lineage {lineage}")
+            sends[lineage] = tick
+        elif name == "net.deliver":
+            lineage = ev.get("args", {}).get("lineage")
+            if lineage is None:
+                fail(f"event {i}: net.deliver without lineage")
+            delivers.append((i, tick, lineage))
+        elif name == "net.round":
+            rounds += 1
+
+    for tid, depth in open_phases.items():
+        if depth != 0 and not dropped:
+            fail(f"{depth} unclosed phase(s) on tid={tid}")
+
+    for i, tick, lineage in delivers:
+        if lineage not in sends:
+            if dropped:
+                continue  # the send fell off the wrapped ring
+            fail(f"event {i}: deliver lineage {lineage} has no send")
+        if not (sends[lineage] < tick):
+            fail(
+                f"event {i}: deliver tick {tick} not after send tick "
+                f"{sends[lineage]} (lineage {lineage})"
+            )
+
+    if args.telemetry and not dropped:
+        try:
+            with open(args.telemetry) as f:
+                telemetry = json.load(f).get("telemetry", {})
+        except (OSError, ValueError) as e:
+            print(f"trace_check: cannot read {args.telemetry}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        want_rounds = int(telemetry.get("counters", {}).get("net.rounds", 0))
+        if rounds != want_rounds:
+            fail(f"{rounds} net.round events but telemetry counted "
+                 f"{want_rounds} network rounds")
+        want_spans = count_spans(telemetry.get("spans", []))
+        if phase_begins != want_spans:
+            fail(f"{phase_begins} phase begins but telemetry recorded "
+                 f"{want_spans} spans")
+
+    suffix = f", {dropped} dropped (wrapped ring)" if dropped else ""
+    print(
+        f"trace OK: {len(events)} events, {len(last_tick_by_tid)} tracks, "
+        f"{phase_begins} phases, {len(sends)} sends / {len(delivers)} "
+        f"delivers, {rounds} rounds{suffix}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/cliques.hpp"
+#include "obs/trace.hpp"
 #include "support/cachectl.hpp"
 #include "support/union_find.hpp"
 
@@ -238,12 +239,18 @@ CliqueForest CliqueForest::from_cliques(
   forest.membership_ =
       clique_membership(forest.cliques_, num_graph_vertices);
   forest.adj_.assign(forest.cliques_.size(), {});
+  std::int64_t chosen = 0;
   for (const auto& e :
        max_weight_spanning_forest(forest.cliques_, num_graph_vertices)) {
     forest.adj_[e.a].push_back(e.b);
     forest.adj_[e.b].push_back(e.a);
+    ++chosen;
   }
   for (auto& list : forest.adj_) std::sort(list.begin(), list.end());
+  // The whole-graph MWSF build (node -1 marks coordinator work on the
+  // event timeline).
+  obs::trace_emit(nullptr, obs::TraceEventKind::kForestBuild, -1, /*round=*/0,
+                  static_cast<std::int64_t>(forest.cliques_.size()), chosen);
   return forest;
 }
 

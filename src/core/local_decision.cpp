@@ -12,6 +12,7 @@
 #include "local/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "support/parallel.hpp"
 
 namespace chordal::core {
@@ -331,6 +332,17 @@ PeelingResult peel_with_local_decisions(const Graph& g,
   const std::vector<char>& active_vertex = cache.active();
   std::vector<AnalysisMemo> memo(static_cast<std::size_t>(g.num_vertices()));
   std::vector<int> peeled;
+  // Event tracing: each worker's cache/forest/decision events stage in its
+  // Tracer::worker ring (wired through the shard workspace for library
+  // sites) and merge in worker order after each region - bit-identical
+  // streams at any thread count.
+  obs::Tracer* tracer = obs::tracer();
+  if (tracer != nullptr) {
+    tracer->ensure_workers(static_cast<std::size_t>(support::num_threads()));
+    for (std::size_t w = 0; w < cache.num_shards(); ++w) {
+      cache.shard(w).workspace().trace = &tracer->worker(w);
+    }
+  }
 
   for (int iter = 1; remaining > 0; ++iter) {
     if (iter > iteration_cap) {
@@ -362,16 +374,20 @@ PeelingResult peel_with_local_decisions(const Graph& g,
         [&](std::size_t begin, std::size_t end, std::size_t worker) {
           DecisionScratch& s = scratch[worker];
           local::BallCache::Shard& shard = cache.shard(worker);
+          obs::TraceBuf* tb =
+              tracer != nullptr ? &tracer->worker(worker) : nullptr;
           for (std::size_t i = begin; i < end; ++i) {
             int v = static_cast<int>(i);
             if (!active_vertex[v]) continue;
             ++worker_views[worker];
-            if (decide_locally(g, v, radius, k, nullptr, shard, &memo[i],
-                               s)) {
-              removed[v] = 1;
-            }
+            bool remove = decide_locally(g, v, radius, k, nullptr, shard,
+                                         &memo[i], s);
+            if (remove) removed[v] = 1;
+            obs::trace_emit(tb, obs::TraceEventKind::kLocalDecision, v, iter,
+                            remove ? 1 : 0);
           }
         });
+    if (tracer != nullptr) tracer->merge_workers();
     std::int64_t views_computed = 0;
     for (std::int64_t count : worker_views) views_computed += count;
     if (view_span.live()) {
@@ -422,10 +438,15 @@ PeelingResult peel_with_local_decisions(const Graph& g,
     }
     peeled.clear();
     for (const auto& lp : taken) {
+      obs::trace_emit(nullptr, obs::TraceEventKind::kPeelDecision,
+                      lp.path.cliques.empty() ? -1 : lp.path.cliques.front(),
+                      iter, static_cast<std::int64_t>(lp.path.cliques.size()),
+                      static_cast<std::int64_t>(lp.owned.size()));
       for (int v : lp.owned) {
         result.layer_of[v] = iter;
         peeled.push_back(v);
         --remaining;
+        obs::trace_emit(nullptr, obs::TraceEventKind::kPeelCommit, v, iter);
       }
       for (int c : lp.path.cliques) active_clique[c] = 0;
     }
@@ -458,6 +479,13 @@ LocalDecisionAudit audit_local_pruning(const Graph& g,
   std::vector<char> horizon(static_cast<std::size_t>(n), 0);
   std::vector<int> expired;
   const std::vector<char>& active = cache.active();
+  obs::Tracer* tracer = obs::tracer();
+  if (tracer != nullptr) {
+    tracer->ensure_workers(static_cast<std::size_t>(support::num_threads()));
+    for (std::size_t w = 0; w < cache.num_shards(); ++w) {
+      cache.shard(w).workspace().trace = &tracer->worker(w);
+    }
+  }
   for (int iter = 1; iter <= peeling.num_layers; ++iter) {
     if (iter > 1) {
       expired.clear();
@@ -482,10 +510,13 @@ LocalDecisionAudit audit_local_pruning(const Graph& g,
             horizon[i] = hit ? 1 : 0;
           }
         });
+    if (tracer != nullptr) tracer->merge_workers();
     for (int v = 0; v < n; v += step) {
       if (!active[v]) continue;
       bool removed_locally = local[v] != 0;
       bool removed_globally = peeling.layer_of[v] == iter;
+      obs::trace_emit(nullptr, obs::TraceEventKind::kAuditDecision, v, iter,
+                      removed_locally ? 1 : 0, removed_globally ? 1 : 0);
       ++audit.decisions_checked;
       if (horizon[v]) ++audit.horizon_hits;
       if (removed_locally != removed_globally) {
@@ -521,6 +552,13 @@ LocalDecisionAudit audit_local_pruning_mis(const Graph& g,
   std::vector<char> local(static_cast<std::size_t>(n), 0);
   std::vector<int> expired;
   const std::vector<char>& active = cache.active();
+  obs::Tracer* tracer = obs::tracer();
+  if (tracer != nullptr) {
+    tracer->ensure_workers(static_cast<std::size_t>(support::num_threads()));
+    for (std::size_t w = 0; w < cache.num_shards(); ++w) {
+      cache.shard(w).workspace().trace = &tracer->worker(w);
+    }
+  }
   for (int iter = 1; iter <= peeling.num_layers; ++iter) {
     bool last_round = iter == peeling.num_layers;
     if (iter > 1) {
@@ -544,10 +582,13 @@ LocalDecisionAudit audit_local_pruning_mis(const Graph& g,
                            : 0;
           }
         });
+    if (tracer != nullptr) tracer->merge_workers();
     for (int v = 0; v < n; v += step) {
       if (!active[v]) continue;
       bool removed_locally = local[v] != 0;
       bool removed_globally = peeling.layer_of[v] == iter;
+      obs::trace_emit(nullptr, obs::TraceEventKind::kAuditDecision, v, iter,
+                      removed_locally ? 1 : 0, removed_globally ? 1 : 0);
       ++audit.decisions_checked;
       if (removed_locally != removed_globally) ++audit.mismatches;
     }

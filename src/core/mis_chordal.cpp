@@ -10,6 +10,7 @@
 #include "interval/offline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "support/parallel.hpp"
 
 namespace chordal::core {
@@ -195,6 +196,8 @@ MisResult mis_chordal(const Graph& g, const MisOptions& options) {
             throw std::logic_error("mis_chordal: conflicting pick");
           }
           in_set[v] = 1;
+          obs::trace_emit(nullptr, obs::TraceEventKind::kMisPick, v,
+                          layer_index);
         }
         for (int v : picks) {
           for (int w : g.neighbors(v)) blocked[w] = 1;

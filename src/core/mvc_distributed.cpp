@@ -12,6 +12,7 @@
 #include "local/ball.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "support/parallel.hpp"
 
 namespace chordal::core {
@@ -190,18 +191,28 @@ struct Engine {
   /// paths of one layer are non-adjacent (Lemma 11), and owned sets across
   /// layers are disjoint, so every unit runs in parallel.
   void color_layers() {
-    std::vector<const LayerPath*> units;
+    std::vector<std::pair<const LayerPath*, int>> units;  // (path, layer)
+    int layer_index = 0;
     for (const auto& layer : peeling.layers) {
+      ++layer_index;
       for (const auto& lp : layer) {
-        if (!lp.owned.empty()) units.push_back(&lp);
+        if (!lp.owned.empty()) units.emplace_back(&lp, layer_index);
       }
     }
     std::vector<WorkerTally> tally(
         static_cast<std::size_t>(support::num_threads()));
+    obs::Tracer* tracer = obs::tracer();
+    if (tracer != nullptr) {
+      tracer->ensure_workers(
+          static_cast<std::size_t>(support::num_threads()));
+    }
     support::parallel_for(
         units.size(), [&](std::size_t idx, std::size_t worker) {
           WorkerTally& t = tally[worker];
-          const LayerPath& lp = *units[idx];
+          const LayerPath& lp = *units[idx].first;
+          const int unit_layer = units[idx].second;
+          obs::TraceBuf* tb =
+              tracer != nullptr ? &tracer->worker(worker) : nullptr;
           const PathIntervals& full = *cached_path_intervals(
               forest, lp.path, t.scratch, t.full, path_cache,
               metric_logs[worker]);
@@ -227,6 +238,8 @@ struct Engine {
           for (std::size_t i = 0; i < mine.vertices.size(); ++i) {
             result.colors[mine.vertices[i]] = colors[i];
             clock[mine.vertices[i]] += spent;
+            obs::trace_emit(tb, obs::TraceEventKind::kColorCommit,
+                            mine.vertices[i], unit_layer, colors[i]);
           }
           if (telemetry) {
             // Each owned vertex learns its path's full interval model (two
@@ -241,6 +254,7 @@ struct Engine {
                            model_words;
           }
         });
+    if (tracer != nullptr) tracer->merge_workers();
     path_cache.merge(metric_logs);
     merge_tallies(tally);
   }
@@ -253,13 +267,22 @@ struct Engine {
   void correct_layers() {
     std::vector<WorkerTally> tally(
         static_cast<std::size_t>(support::num_threads()));
+    obs::Tracer* tracer = obs::tracer();
+    if (tracer != nullptr) {
+      tracer->ensure_workers(
+          static_cast<std::size_t>(support::num_threads()));
+    }
     for (int layer = result.num_layers - 1; layer >= 1; --layer) {
       const auto& paths =
           peeling.layers[static_cast<std::size_t>(layer) - 1];
       support::parallel_for(
           paths.size(), [&](std::size_t i, std::size_t worker) {
-            correct_path(paths[i], tally[worker], metric_logs[worker]);
+            obs::TraceBuf* tb =
+                tracer != nullptr ? &tracer->worker(worker) : nullptr;
+            correct_path(paths[i], layer, tb, tally[worker],
+                         metric_logs[worker]);
           });
+      if (tracer != nullptr) tracer->merge_workers();
       path_cache.merge(metric_logs);
     }
     merge_tallies(tally);
@@ -278,8 +301,8 @@ struct Engine {
     }
   }
 
-  void correct_path(const LayerPath& lp, WorkerTally& t,
-                    PathMetricCache::WorkerLog& log) {
+  void correct_path(const LayerPath& lp, int layer, obs::TraceBuf* tb,
+                    WorkerTally& t, PathMetricCache::WorkerLog& log) {
     const PathIntervals& full = *cached_path_intervals(
         forest, lp.path, t.scratch, t.full, path_cache, log);
     const std::size_t n = full.vertices.size();
@@ -359,7 +382,11 @@ struct Engine {
     std::int64_t done = ready + result.k + 7;
     for (std::size_t w : free_local) {
       int v = full.vertices[window[w]];
-      if (result.colors[v] != solved[w]) ++t.recolored;
+      if (result.colors[v] != solved[w]) {
+        ++t.recolored;
+        obs::trace_emit(tb, obs::TraceEventKind::kRecolor, v, layer,
+                        solved[w]);
+      }
       result.colors[v] = solved[w];
       clock[v] = std::max(clock[v], done);
     }

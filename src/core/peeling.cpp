@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "support/parallel.hpp"
 
 namespace chordal::core {
@@ -115,11 +116,16 @@ PeelingResult peel(const Graph& g, const CliqueForest& forest,
       layer_span.note("high_degree_cliques", high_degree);
     }
     for (const auto& lp : taken) {
+      obs::trace_emit(nullptr, obs::TraceEventKind::kPeelDecision,
+                      lp.path.cliques.empty() ? -1 : lp.path.cliques.front(),
+                      iter, static_cast<std::int64_t>(lp.path.cliques.size()),
+                      static_cast<std::int64_t>(lp.owned.size()));
       for (int v : lp.owned) {
         if (result.layer_of[v] != 0) {
           throw std::logic_error("peel: vertex peeled twice");
         }
         result.layer_of[v] = iter;
+        obs::trace_emit(nullptr, obs::TraceEventKind::kPeelCommit, v, iter);
       }
       for (int c : lp.path.cliques) {
         if (!active[c]) throw std::logic_error("peel: clique peeled twice");

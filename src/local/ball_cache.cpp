@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "support/parallel.hpp"
 
 namespace chordal::local {
@@ -115,7 +116,20 @@ void BallCache::deactivate(std::span<const int> vertices) {
     active_[v] = 0;
     deact_epoch_[v] = epoch_;
     if (!enabled_) continue;
-    for (auto& shard : shards_) shard->invalidate_refs(v);
+    int killed = 0;
+    std::int64_t words_freed = 0;
+    for (auto& shard : shards_) {
+      killed += shard->invalidate_refs(v, &words_freed);
+    }
+    if (killed > 0) {
+      // One event per deactivated vertex, aggregated over shards: the set
+      // of live entries containing v is thread-count invariant, but their
+      // distribution across shards (and hence any per-entry emission
+      // order) is not. Coordinator-side, so route past stale worker
+      // wiring of the shard workspaces.
+      obs::trace_emit(nullptr, obs::TraceEventKind::kCacheInvalidate, v,
+                      static_cast<std::int32_t>(epoch_), killed, words_freed);
+    }
   }
   if (!enabled_) return;
   // Distance stamps may refer to an entry that just died; force re-stamping.
@@ -177,14 +191,17 @@ void BallCache::Shard::register_members(const Entry& e,
   }
 }
 
-void BallCache::Shard::invalidate_refs(int v) {
-  if (member_of_.empty()) return;
+int BallCache::Shard::invalidate_refs(int v, std::int64_t* words_freed) {
+  if (member_of_.empty()) return 0;
+  int killed = 0;
   auto& refs = member_of_[static_cast<std::size_t>(v)];
   for (MemberRef ref : refs) {
     Entry& e = entries_[static_cast<std::size_t>(ref.slot)];
     if (e.valid && e.build_id == ref.build_id) {
       e.valid = false;
       resident_words_ -= e.resident_words;
+      *words_freed += e.resident_words;
+      ++killed;
       e.resident_words = 0;
       ++invalidations_;
       if (e.used_since_build) {
@@ -195,6 +212,7 @@ void BallCache::Shard::invalidate_refs(int v) {
     }
   }
   refs.clear();
+  return killed;
 }
 
 void BallCache::Shard::rebuild(Entry& e, int center, int radius) {
@@ -222,6 +240,9 @@ void BallCache::Shard::rebuild(Entry& e, int center, int radius) {
     resident_words_ += e.resident_words;
     register_members(e, 0);
   }
+  obs::trace_emit(ws_.trace, obs::TraceEventKind::kCacheMiss, center,
+                  static_cast<std::int32_t>(owner_->epoch_), radius,
+                  static_cast<std::int64_t>(e.ball.vertices.size()));
   dist_src_ = &e.ball.dist;
   dists_for_ = center;
 }
@@ -239,6 +260,9 @@ void BallCache::Shard::extend(Entry& e, int to_radius) {
   e.resident_words = ball_words(e.ball);
   resident_words_ += e.resident_words;
   register_members(e, old_size);  // same build_id: live-tagged for refs
+  obs::trace_emit(ws_.trace, obs::TraceEventKind::kCacheExtend, e.center,
+                  static_cast<std::int32_t>(owner_->epoch_), to_radius,
+                  static_cast<std::int64_t>(e.ball.vertices.size()));
   dist_src_ = &e.ball.dist;
   dists_for_ = e.center;
 }
@@ -305,6 +329,9 @@ const Ball& BallCache::Shard::collect_ball(int center, int radius,
   if (e.valid && e.radius == radius) {
     ++hits_;
     e.used_since_build = true;
+    obs::trace_emit(ws_.trace, obs::TraceEventKind::kCacheHit, center,
+                    static_cast<std::int32_t>(owner_->epoch_), radius,
+                    static_cast<std::int64_t>(e.ball.vertices.size()));
   } else if (e.valid && e.radius < radius) {
     extend(e, radius);
   } else {
@@ -326,11 +353,17 @@ BallCache::ViewRef BallCache::Shard::local_view(int center, int radius) {
   if (e.valid && e.radius == radius && e.has_view) {
     ++hits_;
     e.used_since_build = true;
+    obs::trace_emit(ws_.trace, obs::TraceEventKind::kCacheHit, center,
+                    static_cast<std::int32_t>(owner_->epoch_), radius,
+                    static_cast<std::int64_t>(e.ball.vertices.size()));
     return {&e.ball, &e.view, e.revision, true};
   }
   if (e.valid && e.radius == radius) {
     ++misses_;  // cached ball, missing view: skip the BFS, redo the view
     e.used_since_build = true;
+    obs::trace_emit(ws_.trace, obs::TraceEventKind::kCacheMiss, center,
+                    static_cast<std::int32_t>(owner_->epoch_), radius,
+                    static_cast<std::int64_t>(e.ball.vertices.size()));
     stamp_dists(e);
   } else if (e.valid && e.radius < radius) {
     extend(e, radius);

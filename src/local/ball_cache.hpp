@@ -217,7 +217,10 @@ class BallCache::Shard {
   void extend(Entry& e, int to_radius);
   void add_view(Entry& e, int radius);
   void register_members(const Entry& e, std::size_t from_index);
-  void invalidate_refs(int v);
+  /// Kills every live entry whose ball contains v; returns the number of
+  /// entries invalidated and adds their resident words to *words_freed
+  /// (both thread-count invariant, unlike any per-shard ordering).
+  int invalidate_refs(int v, std::int64_t* words_freed);
   void stamp_dists(const Entry& e);
   void charge_collect(const Ball& ball, int radius, RoundLedger* ledger);
 

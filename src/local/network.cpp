@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "support/parallel.hpp"
 
 namespace chordal::local {
 
@@ -28,12 +30,17 @@ void Network::send(int from, int to, Payload data) {
   stats_.total_payload_words += words;
   stats_.max_message_words = std::max(stats_.max_message_words, words);
   if (pending_[to].empty()) dirty_.push_back(to);
-  pending_[to].push_back({from, Message{from, PayloadRef(std::move(data))}});
+  std::int64_t id = next_message_id();
+  obs::trace_emit(nullptr, obs::TraceEventKind::kNetSend, from, rounds_, to,
+                  words, id);
+  pending_[to].push_back({from, Message{from, PayloadRef(std::move(data)),
+                                        id}});
 }
 
 void Network::broadcast(int from, const Payload& data) {
   // One shared slab for all copies: stats below still account d full
-  // messages, but the simulator stores the payload words once.
+  // messages, but the simulator stores the payload words once. Each copy is
+  // a distinct LOCAL-model message, so each gets its own lineage id.
   PayloadRef shared{Payload(data)};
   auto words = static_cast<std::int64_t>(data.size());
   for (int to : graph_->neighbors(from)) {
@@ -41,8 +48,21 @@ void Network::broadcast(int from, const Payload& data) {
     stats_.total_payload_words += words;
     stats_.max_message_words = std::max(stats_.max_message_words, words);
     if (pending_[to].empty()) dirty_.push_back(to);
-    pending_[to].push_back({from, Message{from, shared}});
+    std::int64_t id = next_message_id();
+    obs::trace_emit(nullptr, obs::TraceEventKind::kNetSend, from, rounds_, to,
+                    words, id);
+    pending_[to].push_back({from, Message{from, shared, id}});
   }
+}
+
+std::int64_t Network::next_message_id() {
+  // Lineage ids must be unique across every Network a trace covers (a run
+  // may simulate several algorithms, each on its own Network), so a live
+  // tracer hands them out; without one the per-network counter suffices.
+  if (!support::in_parallel_region()) {
+    if (obs::Tracer* t = obs::tracer()) return t->next_message_id();
+  }
+  return ++next_msg_id_;
 }
 
 void Network::deliver() {
@@ -54,10 +74,17 @@ void Network::deliver() {
   std::sort(dirty_.begin(), dirty_.end());
   std::int64_t round_messages = 0;
   std::int64_t round_words = 0;
+  obs::Tracer* tr =
+      support::in_parallel_region() ? nullptr : obs::tracer();
   for (int v : dirty_) {
     std::int64_t inbox_words = 0;
     for (auto& [from, msg] : pending_[v]) {
-      inbox_words += static_cast<std::int64_t>(msg.data.size());
+      auto words = static_cast<std::int64_t>(msg.data.size());
+      inbox_words += words;
+      if (tr != nullptr) {
+        tr->emit(obs::TraceEventKind::kNetDeliver, v, rounds_, from, words,
+                 msg.id);
+      }
       inboxes_[v].push_back(std::move(msg));
     }
     auto inbox_messages = static_cast<std::int64_t>(inboxes_[v].size());
@@ -71,6 +98,10 @@ void Network::deliver() {
         std::max(stats_.max_inbox_messages, inbox_messages);
     stats_.max_inbox_words = std::max(stats_.max_inbox_words, inbox_words);
     pending_[v].clear();
+  }
+  if (tr != nullptr) {
+    tr->emit(obs::TraceEventKind::kNetRound, -1, rounds_, round_messages,
+             round_words);
   }
   live_inboxes_ = std::move(dirty_);
   dirty_.clear();

@@ -59,6 +59,12 @@ class PayloadRef {
 struct Message {
   int from = -1;
   PayloadRef data;
+  /// Causal lineage: per-network id stamped at send()/broadcast() (each
+  /// broadcast copy gets its own). When an obs::Tracer is installed, the
+  /// kNetSend and kNetDeliver events of this message carry the same id, so
+  /// a delivered payload links back to its originating send and round; 0
+  /// when the message predates the id counter (never, in practice).
+  std::int64_t id = 0;
 };
 
 /// Exact traffic accounting for one Network run. "Words" are payload
@@ -118,6 +124,10 @@ class Network {
   std::vector<int> dirty_;
   std::vector<int> live_inboxes_;  // recipients whose inbox is non-empty
   int rounds_ = 0;
+  // Lineage-id fallback when no tracer is installed; with one, ids come
+  // from Tracer::next_message_id() so they are unique across Networks.
+  std::int64_t next_msg_id_ = 0;
+  std::int64_t next_message_id();
   NetworkStats stats_;
   mutable bool published_ = false;
 };

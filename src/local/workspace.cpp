@@ -150,7 +150,16 @@ void view_from_ball(const Ball& ball, int radius, BallWorkspace& ws,
       ws.family.push_back(ws.phi_pairs[p].second);
       ++p;
     }
+    std::size_t before = edges_out.size();
     family_forest_edges(out.cliques, ws.family, ws.forest, edges_out);
+    if (ws.family.size() >= 2) {
+      // One per-family MWSF build event per trusted vertex whose family
+      // actually has edges to choose (singleton families are trivial).
+      obs::trace_emit(ws.trace, obs::TraceEventKind::kForestBuild, u,
+                      /*round=*/0,
+                      static_cast<std::int64_t>(ws.family.size()),
+                      static_cast<std::int64_t>(edges_out.size() - before));
+    }
   }
   std::sort(edges_out.begin(), edges_out.end());
   edges_out.erase(std::unique(edges_out.begin(), edges_out.end()),

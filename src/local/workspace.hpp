@@ -26,6 +26,7 @@
 #include "graph/graph.hpp"
 #include "local/ball.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chordal::local {
 
@@ -54,6 +55,14 @@ class BallWorkspace {
   /// the sequential recording order. Workers never touch the registry.
   obs::Delta obs;
   bool obs_active = false;
+
+  /// Event-trace staging ring for parallel workers: when a driver runs
+  /// under an obs::Tracer it wires this to Tracer::worker(w) for the
+  /// region, and library sites (cache lookups, per-family forest builds)
+  /// emit through obs::trace_emit(trace, ...). Null when tracing is off or
+  /// the driver is not trace-aware; the driver merges the worker rings in
+  /// worker order after the join (see obs/trace.hpp).
+  obs::TraceBuf* trace = nullptr;
 
   // Internal state (used by the workspace.cpp implementations).
   std::uint64_t epoch = 0;

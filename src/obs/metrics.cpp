@@ -77,6 +77,10 @@ SpanNode* Registry::active_span() {
 
 void Registry::write_json(JsonWriter& w) const {
   w.begin_object();
+  // Telemetry layout version. 1 (implicit, no key) = the original layout;
+  // 2 = identical layout plus this marker. Consumers (bench_diff.py,
+  // bench_gate.py) accept both.
+  w.key("schema").value(static_cast<std::int64_t>(2));
   w.key("counters");
   w.begin_object();
   for (const auto& [name, c] : counters_) {

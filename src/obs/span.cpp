@@ -1,10 +1,21 @@
 #include "obs/span.hpp"
 
+#include "obs/trace.hpp"
 #include "support/parallel.hpp"
 
 namespace chordal::obs {
 
 Span::Span(std::string_view name) {
+  // Phase boundaries also land on the event timeline when a Tracer is
+  // installed (with or without a registry); same parallel-region
+  // suppression as the span tree below, for the same determinism reason.
+  if (!support::in_parallel_region()) {
+    if (Tracer* t = tracer()) {
+      phase_id_ = t->intern(name);
+      t->emit(TraceEventKind::kPhaseBegin, -1, 0, phase_id_);
+      traced_ = true;
+    }
+  }
   Registry* reg = current();
   if (reg == nullptr) return;
   // Spans opened inside a parallel_for body would be recorded only by
@@ -22,6 +33,11 @@ Span::Span(std::string_view name) {
 }
 
 Span::~Span() {
+  if (traced_) {
+    if (Tracer* t = tracer()) {
+      t->emit(TraceEventKind::kPhaseEnd, -1, 0, phase_id_);
+    }
+  }
   if (node_ == nullptr) return;
   std::chrono::duration<double, std::milli> elapsed =
       std::chrono::steady_clock::now() - start_;

@@ -54,6 +54,8 @@ class Span {
   Registry* registry_ = nullptr;
   SpanNode* node_ = nullptr;
   std::chrono::steady_clock::time_point start_;
+  std::int64_t phase_id_ = -1;  // interned name in the installed Tracer
+  bool traced_ = false;
 };
 
 }  // namespace chordal::obs

@@ -19,9 +19,12 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "audit/auditors.hpp"
 #include "audit/fuzzers.hpp"
 #include "graph/graphio.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -56,6 +59,35 @@ std::string check_stream(const audit::StreamCase& sc) {
     }
   }
   return {};
+}
+
+/// Re-runs the failing graph case under an obs::Tracer and writes the
+/// Chrome trace next to the failing input: the causal event stream (peel
+/// and local decisions, audit verdicts, cache traffic) of the exact run
+/// that tripped the auditor, loadable in Perfetto for triage. The re-run
+/// is expected to throw again; a case that no longer fails is noted.
+void dump_failure_trace(const audit::GraphCase& gc, double eps_color,
+                        double eps_mis, bool per_node,
+                        const std::string& path) {
+  obs::Tracer tracer;
+  bool rethrew = false;
+  {
+    obs::ScopedTracer scope(tracer);
+    try {
+      audit::run_driver_audit_matrix(gc.graph, eps_color, eps_mis, per_node);
+    } catch (const std::exception&) {
+      rethrew = true;
+    }
+  }
+  std::ofstream out(path);
+  out << tracer.to_chrome_json() << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "  (cannot write failure trace %s)\n", path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "  failure trace: %s%s\n", path.c_str(),
+               rethrew ? "" : " (did not reproduce on re-run)");
 }
 
 long long arg_value(int argc, char** argv, const char* flag, long long fallback) {
@@ -126,6 +158,16 @@ int main(int argc, char** argv) {
       }
     } catch (const std::exception& e) {
       report(gc.name, e.what());
+      if (gc.chordal && gc.graph.num_vertices() <= max_matrix_n) {
+        // Also persist the failing input itself so the trace has a graph
+        // to be replayed against.
+        std::string base = "fuzz_fail_" + gc.name;
+        std::ofstream graph_out(base + ".graph");
+        graph_out << graph_to_string(gc.graph);
+        dump_failure_trace(gc, /*eps_color=*/0.5, /*eps_mis=*/0.25,
+                           gc.graph.num_vertices() <= per_node_n,
+                           base + ".trace.json");
+      }
     }
   }
 
