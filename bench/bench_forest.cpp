@@ -70,8 +70,7 @@ std::uint64_t hash_pair(std::uint64_t h, long long a, long long b) {
   return h;
 }
 
-long long intersection_size(const std::vector<int>& a,
-                            const std::vector<int>& b) {
+long long intersection_size(CliqueWord a, CliqueWord b) {
   long long w = 0;
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {

@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
     CliqueForest global = CliqueForest::build(g);
     std::map<std::pair<std::vector<int>, std::vector<int>>, char> edges;
     for (auto [a, b] : global.forest_edges()) {
-      auto key = std::minmax(global.clique(a), global.clique(b));
+      std::vector<int> ca = word_vec(global.clique(a));
+      std::vector<int> cb = word_vec(global.clique(b));
+      auto key = std::minmax(ca, cb);
       edges[{key.first, key.second}] = 1;
     }
     local::BallCache cache(g);
@@ -45,7 +47,9 @@ int main(int argc, char** argv) {
         const LocalView& view = *cache.shard(0).local_view(v, radius).view;
         for (auto [a, b] : view.forest_edges) {
           ++checked_edges;
-          auto key = std::minmax(view.cliques[a], view.cliques[b]);
+          std::vector<int> ca = word_vec(view.cliques[a]);
+          std::vector<int> cb = word_vec(view.cliques[b]);
+          auto key = std::minmax(ca, cb);
           if (!edges.count({key.first, key.second})) ++violations;
         }
         for (int u : view.trusted_vertices) {

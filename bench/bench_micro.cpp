@@ -103,7 +103,7 @@ void BM_FamilyMwsfReference(benchmark::State& state) {
     const auto& family = forest.cliques_of(v);
     std::vector<std::vector<int>> family_cliques;
     family_cliques.reserve(family.size());
-    for (int c : family) family_cliques.push_back(forest.clique(c));
+    for (int c : family) family_cliques.push_back(word_vec(forest.clique(c)));
     benchmark::DoNotOptimize(max_weight_spanning_forest_reference(
         family_cliques, gen.graph.num_vertices()));
     v = (v + 37) % gen.graph.num_vertices();
@@ -196,7 +196,7 @@ void BM_LocalViewWorkspace(benchmark::State& state) {
   int v = 0;
   for (auto _ : state) {
     local::compute_local_view(gen.graph, v, 6, nullptr, ws, view);
-    benchmark::DoNotOptimize(view.cliques.data());
+    benchmark::DoNotOptimize(view.cliques.vertices().data());
     v = (v + 41) % gen.graph.num_vertices();
   }
 }

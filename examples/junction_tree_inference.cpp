@@ -76,11 +76,11 @@ std::vector<double> junction_tree_marginals(const Mrf& mrf) {
     for (std::size_t mask = 0; mask < states; ++mask) {
       double s = 0;
       for (std::size_t i = 0; i < clique.size(); ++i) {
-        int u = clique[i];
+        int u = static_cast<int>(clique[i]);
         int xu = (mask >> i) & 1u;
         if (!unary_done[u]) s += mrf.field[u] * xu;
         for (std::size_t j = i + 1; j < clique.size(); ++j) {
-          int v = clique[j];
+          int v = static_cast<int>(clique[j]);
           auto key = std::minmax(u, v);
           if (!pair_done.count(key)) {
             s += mrf.edge_weight(u, v) * xu * ((mask >> j) & 1u);
@@ -89,10 +89,11 @@ std::vector<double> junction_tree_marginals(const Mrf& mrf) {
       }
       table[c][mask] = s;
     }
-    for (int u : clique) unary_done[u] = 1;
+    for (VertexId u : clique) unary_done[u] = 1;
     for (std::size_t i = 0; i < clique.size(); ++i) {
       for (std::size_t j = i + 1; j < clique.size(); ++j) {
-        pair_done[std::minmax(clique[i], clique[j])] = 1;
+        pair_done[std::minmax(static_cast<int>(clique[i]),
+                              static_cast<int>(clique[j]))] = 1;
       }
     }
   }
@@ -107,9 +108,11 @@ std::vector<double> junction_tree_marginals(const Mrf& mrf) {
       static_cast<std::size_t>(m));  // msg[from][to]
   auto separator = [&](int a, int b) {
     std::vector<int> sep;
-    const auto& ca = forest.clique(a);
-    for (int u : forest.clique(b)) {
-      if (std::binary_search(ca.begin(), ca.end(), u)) sep.push_back(u);
+    const auto ca = forest.clique(a);
+    for (VertexId u : forest.clique(b)) {
+      if (std::binary_search(ca.begin(), ca.end(), u)) {
+        sep.push_back(static_cast<int>(u));
+      }
     }
     return sep;
   };
@@ -119,7 +122,8 @@ std::vector<double> junction_tree_marginals(const Mrf& mrf) {
     std::vector<double> out(1u << sep.size(), 0.0);
     for (std::size_t mask = 0; mask < table[from].size(); ++mask) {
       double value = table[from][mask];
-      for (int nb : forest.forest_neighbors(from)) {
+      for (CliqueId nbid : forest.forest_neighbors(from)) {
+        int nb = static_cast<int>(nbid);
         if (nb == to || !msg[nb].count(from)) continue;
         auto nb_sep = separator(nb, from);
         std::size_t sep_mask = 0;
@@ -154,7 +158,8 @@ std::vector<double> junction_tree_marginals(const Mrf& mrf) {
       int c = stack.back();
       stack.pop_back();
       order.push_back(c);
-      for (int nb : forest.forest_neighbors(c)) {
+      for (CliqueId nbid : forest.forest_neighbors(c)) {
+        int nb = static_cast<int>(nbid);
         if (parent[nb] == -2) {
           parent[nb] = c;
           stack.push_back(nb);
@@ -176,7 +181,8 @@ std::vector<double> junction_tree_marginals(const Mrf& mrf) {
     const auto& clique = forest.clique(c);
     std::vector<double> belief = table[c];
     for (std::size_t mask = 0; mask < belief.size(); ++mask) {
-      for (int nb : forest.forest_neighbors(c)) {
+      for (CliqueId nbid : forest.forest_neighbors(c)) {
+        int nb = static_cast<int>(nbid);
         auto sep = separator(nb, c);
         std::size_t sep_mask = 0;
         for (std::size_t s = 0; s < sep.size(); ++s) {

@@ -28,10 +28,11 @@ chordal::Graph figure1() {
   return b.build();
 }
 
-void print_clique(const std::vector<int>& clique) {
+void print_clique(chordal::CliqueWord clique) {
   std::printf("{");
   for (std::size_t i = 0; i < clique.size(); ++i) {
-    std::printf("%s%d", i ? "," : "", clique[i] + 1);  // paper is 1-indexed
+    // paper is 1-indexed
+    std::printf("%s%d", i ? "," : "", static_cast<int>(clique[i]) + 1);
   }
   std::printf("}");
 }

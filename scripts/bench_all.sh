@@ -49,6 +49,13 @@ run_table_bench bench_forest FOREST
 run_table_bench bench_mvc_rounds MVC_ROUNDS
 run_table_bench bench_mis_chordal MIS_CHORDAL
 
+# E16 scale matrix (legacy vs compact substrate, peak-RSS gauges and
+# budgets; --full adds the n=10^7 streaming-interval row). Each cell runs
+# in its own child process because ru_maxrss is process-monotone.
+out="$out_dir/BENCH_SCALE$suffix.json"
+echo "== bench_scale -> $(basename "$out")"
+"$build/bench/bench_scale" --full --json "$out" >/dev/null
+
 out="$out_dir/BENCH_MICRO$suffix.json"
 echo "== bench_micro -> $(basename "$out")"
 "$build/bench/bench_micro" --benchmark_format=console \

@@ -77,6 +77,34 @@ def alloc_counters(doc):
     }
 
 
+def rss_gauges(doc):
+    """name -> MB for every *.peak_rss_mb telemetry gauge."""
+    gauges = doc.get("telemetry", {}).get("gauges", {})
+    return {
+        k: float(v) for k, v in gauges.items() if k.endswith(".peak_rss_mb")
+    }
+
+
+def check_rss_budgets(name, doc, failures):
+    """Absolute peak-RSS budgets: a *.peak_rss_mb gauge whose sibling
+    *.rss_budget_mb gauge exists must stay under it (bench_scale emits the
+    pair per cell). Unlike the relative tolerances this is a hard ceiling:
+    the substrate's memory contract, not a noise bound."""
+    gauges = doc.get("telemetry", {}).get("gauges", {})
+    for key, value in sorted(gauges.items()):
+        if not key.endswith(".peak_rss_mb"):
+            continue
+        budget_key = key[: -len(".peak_rss_mb")] + ".rss_budget_mb"
+        budget = gauges.get(budget_key)
+        if budget is None:
+            continue
+        if float(value) > float(budget):
+            failures.append(
+                f"{name}: peak-RSS budget exceeded: {key}: "
+                f"{float(value):.1f} MB > budget {float(budget):.1f} MB"
+            )
+
+
 def compare(name, kind, base, fresh, tol_pct, min_abs, failures, notes):
     """Flags fresh[k] > base[k] * (1 + tol) for every shared key."""
     for key in sorted(set(base) | set(fresh)):
@@ -119,6 +147,10 @@ def main():
                         help="allowed allocation-counter regression, percent")
     parser.add_argument("--min-ms", type=float, default=1.0,
                         help="ignore wall-clock spans below this many ms")
+    parser.add_argument("--rss-tolerance", type=float, default=30.0,
+                        help="allowed peak-RSS gauge regression, percent")
+    parser.add_argument("--min-rss-mb", type=float, default=32.0,
+                        help="ignore peak-RSS gauges below this many MB")
     args = parser.parse_args()
 
     names = args.names or sorted(
@@ -145,6 +177,9 @@ def main():
                 args.tolerance, args.min_ms, failures, notes)
         compare(name, "alloc", alloc_counters(base), alloc_counters(fresh),
                 args.alloc_tolerance, 0.0, failures, notes)
+        compare(name, "peak-rss", rss_gauges(base), rss_gauges(fresh),
+                args.rss_tolerance, args.min_rss_mb, failures, notes)
+        check_rss_budgets(name, fresh, failures)
 
     for line in notes:
         print(f"  note: {line}")

@@ -40,6 +40,13 @@ CHORDAL_THREADS=4 run_config "$repo/build-tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCHORDAL_TSAN=ON
 
 echo
+echo "== Wide ids (CHORDAL_WIDE_IDS=ON: 64-bit slabs, same outputs) =="
+# The id width is storage-only: the full test suite - including the audit
+# matrix (threads {1,8} x cache {on,off} x engine {fast,ref}) and the
+# trace-parity suites - must pass identically in the 64-bit build.
+run_config "$repo/build-wide" -DCMAKE_BUILD_TYPE=Release -DCHORDAL_WIDE_IDS=ON
+
+echo
 echo "== Fuzz/audit smoke (pinned-seed corpus under ASan+UBSan) =="
 # The sanitizer build above is reused; CHORDAL_FUZZ_ITERS (default 500)
 # scales the corpus for deeper soaks. scripts/fuzz.sh is the standalone
@@ -86,6 +93,23 @@ CHORDAL_FOREST_REFERENCE=1 "$repo/build-release/bench/bench_local_views" \
   --json "$smoke_dir/views_ref.json" >/dev/null
 python3 "$repo/scripts/bench_diff.py" --parity \
   "$smoke_dir/cached.json" "$smoke_dir/views_ref.json"
+
+echo
+echo "== Cross-width parity smoke (32-bit vs 64-bit id slabs) =="
+# Same forest bench from the wide build: every output cell (sizes, weights,
+# edge hashes) must match the 32-bit run bit-for-bit.
+"$repo/build-wide/bench/bench_forest" \
+  --json "$smoke_dir/forest_wide.json" >/dev/null
+python3 "$repo/scripts/bench_diff.py" --parity \
+  "$smoke_dir/forest_fast.json" "$smoke_dir/forest_wide.json"
+
+echo
+echo "== Scale smoke (n=10^5 streaming substrate under the RSS ceiling) =="
+# Builds 10^5-vertex interval and k-tree graphs through the streaming CSR
+# path, asserts allocation-free steady-state queries, and fails if peak RSS
+# crosses the ceiling - the cheap always-on version of the E16 scale gate.
+"$repo/build-release/bench/bench_scale" --smoke --rss-ceiling-mb 512 \
+  >/dev/null
 
 echo
 echo "== Bench regression gate (fresh run vs committed baselines) =="

@@ -116,6 +116,48 @@ bool is_maximal_independent_set(const Graph& g, std::span<const int> set) {
   return true;
 }
 
+void audit_graph_csr(const Graph& g) {
+  const int n = g.num_vertices();
+  auto offsets = g.offsets_span();
+  if (offsets.size() != static_cast<std::size_t>(n) + 1 || offsets[0] != 0) {
+    fail("CSR offsets span [0..n] with offsets[0] == 0",
+         "size " + std::to_string(offsets.size()));
+  }
+  long long slots = 0;
+  for (int v = 0; v < n; ++v) {
+    if (offsets[v + 1] < offsets[v]) {
+      fail("CSR offsets are monotone", "vertex " + std::to_string(v));
+    }
+    auto row = g.neighbors(v);
+    slots += static_cast<long long>(row.size());
+    VertexId prev = -1;
+    for (VertexId u : row) {
+      if (u < 0 || u >= static_cast<VertexId>(n)) {
+        fail("CSR neighbors are in [0, n)", "vertex " + std::to_string(v) +
+                                                " slot " + std::to_string(u));
+      }
+      if (u <= prev) {
+        fail("CSR rows are strictly ascending",
+             "vertex " + std::to_string(v));
+      }
+      if (static_cast<int>(u) == v) {
+        fail("CSR rows are loop-free", "vertex " + std::to_string(v));
+      }
+      if (!g.has_edge(static_cast<int>(u), v)) {
+        fail("CSR adjacency is symmetric", std::to_string(v) + " -> " +
+                                               std::to_string(u) +
+                                               " has no mirror");
+      }
+      prev = u;
+    }
+  }
+  if (slots != 2 * static_cast<long long>(g.num_edges())) {
+    fail("edge count equals half the adjacency volume",
+         std::to_string(slots) + " slots vs m = " +
+             std::to_string(g.num_edges()));
+  }
+}
+
 void audit_clique_forest(const Graph& g, const CliqueForest& forest) {
   forest.verify(g);  // tree-decomposition axioms + acyclicity
   int nc = forest.num_cliques();
@@ -161,10 +203,15 @@ void audit_clique_forest(const Graph& g, const CliqueForest& forest) {
   std::vector<std::vector<int>> inverted(
       static_cast<std::size_t>(g.num_vertices()));
   for (int c = 0; c < nc; ++c) {
-    for (int v : forest.clique(c)) inverted[v].push_back(c);
+    for (VertexId v : forest.clique(c)) {
+      inverted[static_cast<std::size_t>(v)].push_back(c);
+    }
   }
   for (int v = 0; v < g.num_vertices(); ++v) {
-    if (inverted[v] != forest.cliques_of(v)) {
+    auto phi = forest.cliques_of(v);
+    if (inverted[v].size() != phi.size() ||
+        !std::equal(phi.begin(), phi.end(), inverted[v].begin(),
+                    [](CliqueId a, int b) { return static_cast<int>(a) == b; })) {
       fail("phi(v) matches bag contents", "vertex " + std::to_string(v));
     }
   }
@@ -174,9 +221,11 @@ void audit_clique_forest(const Graph& g, const CliqueForest& forest) {
   UnionFind uf(nc);
   int components = nc;
   for (int v = 0; v < g.num_vertices(); ++v) {
-    const auto& family = forest.cliques_of(v);
+    const auto family = forest.cliques_of(v);
     for (std::size_t i = 1; i < family.size(); ++i) {
-      if (uf.unite(family[0], family[i])) --components;
+      if (uf.unite(static_cast<int>(family[0]), static_cast<int>(family[i]))) {
+        --components;
+      }
     }
   }
   auto edges = forest.forest_edges();
@@ -187,7 +236,7 @@ void audit_clique_forest(const Graph& g, const CliqueForest& forest) {
   }
 }
 
-void audit_forest_engine_parity(const std::vector<std::vector<int>>& cliques,
+void audit_forest_engine_parity(const CliqueFamily& cliques,
                                 int num_graph_vertices) {
   ForestScratch scratch;
   std::vector<WcigEdge> fast;
@@ -347,6 +396,8 @@ DriverAuditResult run_driver_audit(const Graph& g,
   support::set_num_threads(config.threads);
   support::set_cache_enabled(config.cache ? 1 : 0);
   support::set_forest_reference(config.forest_reference ? 1 : 0);
+
+  audit_graph_csr(g);
 
   DriverAuditResult out;
   obs::Registry reg;

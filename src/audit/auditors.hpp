@@ -46,6 +46,13 @@ void audit_mis(const Graph& g, const core::MisResult& r, double eps);
 /// True iff `set` is independent and no vertex outside it can be added.
 bool is_maximal_independent_set(const Graph& g, std::span<const int> set);
 
+/// Memory-substrate contract: the Graph's CSR slabs are well-formed -
+/// offsets span [0, 2m] monotonically with offsets[n] == adj size, every
+/// neighbor row is strictly ascending (sorted, duplicate-free), loop-free,
+/// in-range, and symmetric (each (u, v) slot has its (v, u) mirror), and
+/// the reported edge count equals half the adjacency volume.
+void audit_graph_csr(const Graph& g);
+
 /// Theorem 2: the clique forest is a valid clique tree of g - the
 /// tree-decomposition axioms (via CliqueForest::verify), every stored bag
 /// is a maximal clique of g, membership lists match bag contents, and the
@@ -55,7 +62,7 @@ void audit_clique_forest(const Graph& g, const CliqueForest& forest);
 
 /// Theorem 2 uniqueness, differentially: the counting-sort engine and the
 /// reference sorted-merge Kruskal select the identical spanning forest.
-void audit_forest_engine_parity(const std::vector<std::vector<int>>& cliques,
+void audit_forest_engine_parity(const CliqueFamily& cliques,
                                 int num_graph_vertices);
 
 /// Ledger/telemetry conservation over a finished run's registry: the

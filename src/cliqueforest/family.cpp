@@ -1,0 +1,35 @@
+#include "cliqueforest/family.hpp"
+
+#include <algorithm>
+
+namespace chordal {
+
+bool word_less(CliqueWord a, CliqueWord b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool word_eq(CliqueWord a, CliqueWord b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::vector<int> word_vec(CliqueWord w) {
+  return std::vector<int>(w.begin(), w.end());
+}
+
+CliqueFamily::CliqueFamily(const std::vector<std::vector<int>>& nested) {
+  std::size_t total = 0;
+  for (const auto& word : nested) total += word.size();
+  reserve(nested.size(), total);
+  for (const auto& word : nested) push_word(word);
+}
+
+std::vector<std::vector<int>> CliqueFamily::to_nested() const {
+  std::vector<std::vector<int>> out(size());
+  for (std::size_t c = 0; c < size(); ++c) {
+    const CliqueWord word = (*this)[c];
+    out[c].assign(word.begin(), word.end());
+  }
+  return out;
+}
+
+}  // namespace chordal

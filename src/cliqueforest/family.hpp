@@ -1,0 +1,113 @@
+// Flat struct-of-arrays storage for families of clique words.
+//
+// The substrate under the whole clique-forest layer used to be
+// vector<vector<int>>: one heap allocation per clique, pointer-chasing on
+// every word comparison, and 3x-plus memory overhead at million-node scale
+// (inner-vector headers plus allocator slack per bag). CliqueFamily packs a
+// family into exactly two slabs - `offsets_` (EdgeIndex, one per word plus
+// a sentinel) and `vertices_` (VertexId, the concatenated sorted words) -
+// and hands out non-owning CliqueWord spans on query paths. Identity of the
+// represented family is slab equality, so differential tests compare
+// families with ==, exactly as they compared nested vectors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/ids.hpp"
+
+namespace chordal {
+
+/// One clique word: the sorted vertex ids of a clique, viewed in place.
+using CliqueWord = std::span<const VertexId>;
+
+/// Lexicographic word order - the paper's order on clique ID words. Matches
+/// std::vector<int> operator< on the same sequences.
+bool word_less(CliqueWord a, CliqueWord b);
+bool word_eq(CliqueWord a, CliqueWord b);
+
+/// Copies a word into a plain int vector - for tests, oracles, and other
+/// cold paths that want container semantics (set keys, EXPECT_EQ).
+std::vector<int> word_vec(CliqueWord w);
+
+class CliqueFamily {
+ public:
+  CliqueFamily() = default;
+  /// Flattens a nested family (words copied in order).
+  explicit CliqueFamily(const std::vector<std::vector<int>>& nested);
+
+  std::size_t size() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  bool empty() const { return size() == 0; }
+
+  CliqueWord operator[](std::size_t c) const {
+    return {vertices_.data() + offsets_[c],
+            static_cast<std::size_t>(offsets_[c + 1] - offsets_[c])};
+  }
+
+  /// Total vertex slots across all words (sum of word lengths).
+  std::size_t total_vertices() const { return vertices_.size(); }
+
+  /// Drops all words but keeps slab capacity (hot-path reuse).
+  void clear() {
+    offsets_.clear();
+    vertices_.clear();
+  }
+
+  void reserve(std::size_t words, std::size_t total_vertices) {
+    offsets_.reserve(words + 1);
+    vertices_.reserve(total_vertices);
+  }
+
+  /// Appends one word (any integer range; ids narrow into VertexId storage).
+  template <typename Range>
+  void push_word(const Range& word) {
+    if (offsets_.empty()) offsets_.push_back(0);
+    for (auto v : word) vertices_.push_back(static_cast<VertexId>(v));
+    offsets_.push_back(static_cast<EdgeIndex>(vertices_.size()));
+  }
+
+  /// Two families are equal iff they hold the same words in the same order.
+  bool operator==(const CliqueFamily&) const = default;
+
+  /// Raw slabs, for audits and memory accounting.
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+
+  std::size_t memory_bytes() const {
+    return offsets_.capacity() * sizeof(EdgeIndex) +
+           vertices_.capacity() * sizeof(VertexId);
+  }
+
+  /// Expands back to the nested representation (tests and cold oracle
+  /// paths only).
+  std::vector<std::vector<int>> to_nested() const;
+
+  /// Iteration yields CliqueWord views, so range-for over a family works
+  /// like range-for over the old nested vector.
+  class const_iterator {
+   public:
+    const_iterator(const CliqueFamily* f, std::size_t i) : f_(f), i_(i) {}
+    CliqueWord operator*() const { return (*f_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const CliqueFamily* f_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+ private:
+  std::vector<EdgeIndex> offsets_;  // size() + 1 entries once non-empty
+  std::vector<VertexId> vertices_;  // concatenated sorted words
+};
+
+}  // namespace chordal

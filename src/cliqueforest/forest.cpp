@@ -64,9 +64,16 @@ std::vector<WcigEdge> max_weight_spanning_forest_reference(
   return chosen;
 }
 
-void max_weight_spanning_forest(
-    const std::vector<std::vector<int>>& cliques, int num_graph_vertices,
-    ForestScratch& scratch, std::vector<WcigEdge>& out) {
+std::vector<WcigEdge> max_weight_spanning_forest_reference(
+    const CliqueFamily& cliques, int num_graph_vertices) {
+  return max_weight_spanning_forest_reference(cliques.to_nested(),
+                                              num_graph_vertices);
+}
+
+void max_weight_spanning_forest(const CliqueFamily& cliques,
+                                int num_graph_vertices,
+                                ForestScratch& scratch,
+                                std::vector<WcigEdge>& out) {
   out.clear();
   if (support::forest_reference_enabled()) {
     out = max_weight_spanning_forest_reference(cliques, num_graph_vertices);
@@ -129,8 +136,8 @@ void max_weight_spanning_forest(
   }
 }
 
-std::vector<WcigEdge> max_weight_spanning_forest(
-    const std::vector<std::vector<int>>& cliques, int num_graph_vertices) {
+std::vector<WcigEdge> max_weight_spanning_forest(const CliqueFamily& cliques,
+                                                 int num_graph_vertices) {
   if (support::forest_reference_enabled()) {
     return max_weight_spanning_forest_reference(cliques, num_graph_vertices);
   }
@@ -140,8 +147,8 @@ std::vector<WcigEdge> max_weight_spanning_forest(
   return out;
 }
 
-void family_forest_edges(const std::vector<std::vector<int>>& cliques,
-                         const std::vector<int>& family,
+void family_forest_edges(const CliqueFamily& cliques,
+                         std::span<const CliqueId> family,
                          ForestScratch& scratch,
                          std::vector<std::pair<int, int>>& out) {
   const int f = static_cast<int>(family.size());
@@ -153,13 +160,15 @@ void family_forest_edges(const std::vector<std::vector<int>>& cliques,
     std::vector<std::vector<int>> family_cliques;
     family_cliques.reserve(family.size());
     int bound = 0;
-    for (int c : family) {
-      family_cliques.push_back(cliques[c]);
+    for (CliqueId c : family) {
+      const CliqueWord word = cliques[static_cast<std::size_t>(c)];
+      family_cliques.emplace_back(word.begin(), word.end());
       bound = std::max(bound, family_cliques.back().back() + 1);
     }
     for (const auto& e :
          max_weight_spanning_forest_reference(family_cliques, bound)) {
-      out.emplace_back(family[e.a], family[e.b]);
+      out.emplace_back(static_cast<int>(family[e.a]),
+                       static_cast<int>(family[e.b]));
     }
     return;
   }
@@ -168,14 +177,18 @@ void family_forest_edges(const std::vector<std::vector<int>>& cliques,
   // occurrence chain costs one increment per shared (clique, clique, vertex)
   // triple - no sorted merges, no O(n) membership table.
   int bound = 0;
-  for (int c : family) bound = std::max(bound, cliques[c].back() + 1);
+  for (CliqueId c : family) {
+    bound = std::max(
+        bound, static_cast<int>(cliques[static_cast<std::size_t>(c)].back()) +
+                   1);
+  }
   scratch.ensure_vertices(bound);
   const std::uint64_t epoch = ++scratch.epoch;
   scratch.occ.clear();
   scratch.weights.assign(static_cast<std::size_t>(f) * f, 0);
   int max_weight = 0;
   for (int i = 0; i < f; ++i) {
-    for (int v : cliques[family[i]]) {
+    for (int v : cliques[static_cast<std::size_t>(family[i])]) {
       int prev = scratch.vertex_stamp[v] == epoch ? scratch.vertex_head[v] : -1;
       for (int p = prev; p != -1; p = scratch.occ[p].second) {
         int w = ++scratch.weights[static_cast<std::size_t>(
@@ -220,45 +233,94 @@ void family_forest_edges(const std::vector<std::vector<int>>& cliques,
   int chosen = 0;
   for (int pos = 0; pos < total && chosen < f - 1; ++pos) {
     if (uf_unite(scratch, scratch.pair_a[pos], scratch.pair_b[pos])) {
-      out.emplace_back(family[scratch.pair_a[pos]],
-                       family[scratch.pair_b[pos]]);
+      out.emplace_back(static_cast<int>(family[scratch.pair_a[pos]]),
+                       static_cast<int>(family[scratch.pair_b[pos]]));
       ++chosen;
     }
   }
 }
 
 CliqueForest CliqueForest::build(const Graph& g) {
-  return from_cliques(maximal_cliques_chordal(g), g.num_vertices());
+  return from_family(maximal_cliques_chordal_family(g), g.num_vertices());
 }
 
 CliqueForest CliqueForest::from_cliques(
     std::vector<std::vector<int>> cliques, int num_graph_vertices) {
+  return from_family(CliqueFamily(cliques), num_graph_vertices);
+}
+
+CliqueForest CliqueForest::from_family(CliqueFamily cliques,
+                                       int num_graph_vertices) {
   CliqueForest forest;
   forest.num_graph_vertices_ = num_graph_vertices;
   forest.cliques_ = std::move(cliques);
-  forest.membership_ =
-      clique_membership(forest.cliques_, num_graph_vertices);
-  forest.adj_.assign(forest.cliques_.size(), {});
-  std::int64_t chosen = 0;
-  for (const auto& e :
-       max_weight_spanning_forest(forest.cliques_, num_graph_vertices)) {
-    forest.adj_[e.a].push_back(e.b);
-    forest.adj_[e.b].push_back(e.a);
-    ++chosen;
+  const std::size_t m = forest.cliques_.size();
+
+  // phi as a CSR slab: count memberships, prefix-sum, fill ascending in
+  // clique index so each vertex's row comes out sorted.
+  auto& moff = forest.member_offsets_;
+  moff.assign(static_cast<std::size_t>(num_graph_vertices) + 1, 0);
+  for (CliqueWord word : forest.cliques_) {
+    for (auto v : word) {
+      if (v < 0 || v >= num_graph_vertices) {
+        throw std::out_of_range("clique_membership: vertex out of range");
+      }
+      ++moff[static_cast<std::size_t>(v) + 1];
+    }
   }
-  for (auto& list : forest.adj_) std::sort(list.begin(), list.end());
+  for (int v = 0; v < num_graph_vertices; ++v) moff[v + 1] += moff[v];
+  forest.member_.resize(
+      static_cast<std::size_t>(moff[num_graph_vertices]));
+  {
+    std::vector<EdgeIndex> cursor(moff.begin(), moff.end() - 1);
+    for (std::size_t c = 0; c < m; ++c) {
+      for (auto v : forest.cliques_[c]) {
+        forest.member_[static_cast<std::size_t>(cursor[v]++)] =
+            static_cast<CliqueId>(c);
+      }
+    }
+  }
+
+  // Forest adjacency as a CSR slab over the MWSF edges.
+  std::int64_t chosen = 0;
+  auto edges =
+      max_weight_spanning_forest(forest.cliques_, num_graph_vertices);
+  forest.adj_offsets_.assign(m + 1, 0);
+  for (const auto& e : edges) {
+    ++forest.adj_offsets_[static_cast<std::size_t>(e.a) + 1];
+    ++forest.adj_offsets_[static_cast<std::size_t>(e.b) + 1];
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    forest.adj_offsets_[c + 1] += forest.adj_offsets_[c];
+  }
+  forest.adj_.resize(static_cast<std::size_t>(forest.adj_offsets_[m]));
+  {
+    std::vector<EdgeIndex> cursor(forest.adj_offsets_.begin(),
+                                  forest.adj_offsets_.end() - 1);
+    for (const auto& e : edges) {
+      forest.adj_[static_cast<std::size_t>(cursor[e.a]++)] =
+          static_cast<CliqueId>(e.b);
+      forest.adj_[static_cast<std::size_t>(cursor[e.b]++)] =
+          static_cast<CliqueId>(e.a);
+      ++chosen;
+    }
+  }
+  for (std::size_t c = 0; c < m; ++c) {
+    std::sort(forest.adj_.begin() + forest.adj_offsets_[c],
+              forest.adj_.begin() + forest.adj_offsets_[c + 1]);
+  }
   // The whole-graph MWSF build (node -1 marks coordinator work on the
   // event timeline).
   obs::trace_emit(nullptr, obs::TraceEventKind::kForestBuild, -1, /*round=*/0,
-                  static_cast<std::int64_t>(forest.cliques_.size()), chosen);
+                  static_cast<std::int64_t>(m), chosen);
   return forest;
 }
 
 std::vector<std::pair<int, int>> CliqueForest::forest_edges() const {
   std::vector<std::pair<int, int>> out;
   for (int c = 0; c < num_cliques(); ++c) {
-    for (int d : adj_[c]) {
-      if (c < d) out.emplace_back(c, d);
+    for (CliqueId d : forest_neighbors(c)) {
+      if (c < d) out.emplace_back(c, static_cast<int>(d));
     }
   }
   return out;
@@ -267,16 +329,17 @@ std::vector<std::pair<int, int>> CliqueForest::forest_edges() const {
 void CliqueForest::verify(const Graph& g) const {
   // (1) Every vertex lies in at least one clique.
   for (int v = 0; v < g.num_vertices(); ++v) {
-    if (membership_[v].empty()) {
+    if (cliques_of(v).empty()) {
       throw std::logic_error("clique forest: vertex in no clique");
     }
   }
   // (2) Every edge is inside some clique.
   for (auto [u, v] : g.edges()) {
     bool covered = false;
-    for (int c : membership_[u]) {
-      covered = covered ||
-                std::binary_search(cliques_[c].begin(), cliques_[c].end(), v);
+    for (CliqueId c : cliques_of(u)) {
+      const CliqueWord word = clique(static_cast<int>(c));
+      covered = covered || std::binary_search(word.begin(), word.end(),
+                                              static_cast<VertexId>(v));
     }
     if (!covered) throw std::logic_error("clique forest: edge uncovered");
   }
@@ -298,19 +361,19 @@ void CliqueForest::verify(const Graph& g) const {
   std::vector<int> queue;
   std::uint64_t epoch = 0;
   for (int v = 0; v < g.num_vertices(); ++v) {
-    const auto& family = membership_[v];
+    const auto family = cliques_of(v);
     ++epoch;
-    for (int c : family) family_stamp[c] = epoch;
+    for (CliqueId c : family) family_stamp[c] = epoch;
     queue.clear();
-    queue.push_back(family.front());
+    queue.push_back(static_cast<int>(family.front()));
     seen_stamp[family.front()] = epoch;
     std::size_t reached = 1;
     for (std::size_t head = 0; head < queue.size(); ++head) {
-      for (int d : adj_[queue[head]]) {
+      for (CliqueId d : forest_neighbors(queue[head])) {
         if (family_stamp[d] == epoch && seen_stamp[d] != epoch) {
           seen_stamp[d] = epoch;
           ++reached;
-          queue.push_back(d);
+          queue.push_back(static_cast<int>(d));
         }
       }
     }
@@ -320,8 +383,8 @@ void CliqueForest::verify(const Graph& g) const {
   }
   // (5) Each pair of cliques joined by a forest edge intersects.
   for (auto [a, b] : forest_edges()) {
-    const auto& ca = cliques_[a];
-    const auto& cb = cliques_[b];
+    const CliqueWord ca = clique(a);
+    const CliqueWord cb = clique(b);
     bool intersects = false;
     for (std::size_t i = 0, j = 0; i < ca.size() && j < cb.size();) {
       if (ca[i] < cb[j]) {

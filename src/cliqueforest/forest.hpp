@@ -1,10 +1,19 @@
 // The clique forest of a chordal graph: the unique maximum weight spanning
 // forest of the weighted clique intersection graph W_G under the paper's
 // deterministic edge order (Theorem 2 + the Section 3 tie-breaking rule).
+//
+// Storage is flat struct-of-arrays throughout: the clique family is a
+// CliqueFamily (two slabs), and both the forest adjacency and the
+// vertex->clique membership map phi are CSR slabs in the compact id types
+// of graph/ids.hpp. Query paths hand out spans; nothing on this class
+// allocates per call.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
+#include "cliqueforest/family.hpp"
 #include "cliqueforest/wcig.hpp"
 #include "graph/graph.hpp"
 
@@ -18,33 +27,57 @@ class CliqueForest {
 
   /// Builds the forest over an explicitly given (canonical, sorted) family
   /// of maximal cliques. `num_graph_vertices` is n of the underlying graph.
+  static CliqueForest from_family(CliqueFamily cliques,
+                                  int num_graph_vertices);
+
+  /// Nested-vector convenience form of from_family (tests, oracles).
   static CliqueForest from_cliques(std::vector<std::vector<int>> cliques,
                                    int num_graph_vertices);
 
   int num_cliques() const { return static_cast<int>(cliques_.size()); }
   int num_graph_vertices() const { return num_graph_vertices_; }
 
-  const std::vector<std::vector<int>>& cliques() const { return cliques_; }
-  const std::vector<int>& clique(int c) const { return cliques_[c]; }
+  const CliqueFamily& cliques() const { return cliques_; }
+  CliqueWord clique(int c) const { return cliques_[static_cast<std::size_t>(c)]; }
 
   /// Forest adjacency (sorted) over clique indices.
-  const std::vector<int>& forest_neighbors(int c) const { return adj_[c]; }
-  int forest_degree(int c) const { return static_cast<int>(adj_[c].size()); }
+  std::span<const CliqueId> forest_neighbors(int c) const {
+    return {adj_.data() + adj_offsets_[c],
+            static_cast<std::size_t>(adj_offsets_[c + 1] - adj_offsets_[c])};
+  }
+  int forest_degree(int c) const {
+    return static_cast<int>(adj_offsets_[c + 1] - adj_offsets_[c]);
+  }
   std::vector<std::pair<int, int>> forest_edges() const;
 
   /// phi(v): sorted clique indices containing vertex v. The induced
   /// sub-forest is the subtree T(v) of the paper.
-  const std::vector<int>& cliques_of(int v) const { return membership_[v]; }
+  std::span<const CliqueId> cliques_of(int v) const {
+    return {member_.data() + member_offsets_[v],
+            static_cast<std::size_t>(member_offsets_[v + 1] -
+                                     member_offsets_[v])};
+  }
 
   /// Checks the tree-decomposition axioms plus acyclicity against g.
   /// Intended for tests; throws std::logic_error with a description of the
   /// first violated property.
   void verify(const Graph& g) const;
 
+  /// Bytes resident across all slabs (capacities).
+  std::size_t memory_bytes() const {
+    return cliques_.memory_bytes() +
+           adj_offsets_.capacity() * sizeof(EdgeIndex) +
+           adj_.capacity() * sizeof(CliqueId) +
+           member_offsets_.capacity() * sizeof(EdgeIndex) +
+           member_.capacity() * sizeof(CliqueId);
+  }
+
  private:
-  std::vector<std::vector<int>> cliques_;
-  std::vector<std::vector<int>> adj_;
-  std::vector<std::vector<int>> membership_;
+  CliqueFamily cliques_;
+  std::vector<EdgeIndex> adj_offsets_;     // num_cliques+1; forest adjacency
+  std::vector<CliqueId> adj_;              // concatenated sorted rows
+  std::vector<EdgeIndex> member_offsets_;  // n+1; phi as a CSR slab
+  std::vector<CliqueId> member_;           // ascending clique ids per vertex
   int num_graph_vertices_ = 0;
 };
 
@@ -54,8 +87,8 @@ class CliqueForest {
 /// ForestScratch engine (see the overload below) unless
 /// support::forest_reference_enabled() forces the reference path; outputs
 /// are bit-identical either way.
-std::vector<WcigEdge> max_weight_spanning_forest(
-    const std::vector<std::vector<int>>& cliques, int num_graph_vertices);
+std::vector<WcigEdge> max_weight_spanning_forest(const CliqueFamily& cliques,
+                                                 int num_graph_vertices);
 
 /// Allocation-free engine form: counting-sort W_G edge enumeration
 /// (wcig_edges_counting), a weight-bucketed counting sort in place of the
@@ -64,15 +97,20 @@ std::vector<WcigEdge> max_weight_spanning_forest(
 /// ranking of the clique words (the identity for canonical sorted
 /// families). `out` receives the chosen edges in decreasing deterministic
 /// order, exactly as max_weight_spanning_forest_reference emits them.
-void max_weight_spanning_forest(
-    const std::vector<std::vector<int>>& cliques, int num_graph_vertices,
-    ForestScratch& scratch, std::vector<WcigEdge>& out);
+void max_weight_spanning_forest(const CliqueFamily& cliques,
+                                int num_graph_vertices,
+                                ForestScratch& scratch,
+                                std::vector<WcigEdge>& out);
 
 /// The original allocating construction (wcig_edges + O(omega) comparator
 /// sort + fresh UnionFind), kept verbatim as the differential-test oracle
-/// for the engine and as the CHORDAL_FOREST_REFERENCE fallback.
+/// for the engine and as the CHORDAL_FOREST_REFERENCE fallback. The
+/// CliqueFamily form expands to the nested representation first - it is a
+/// cold path by definition.
 std::vector<WcigEdge> max_weight_spanning_forest_reference(
     const std::vector<std::vector<int>>& cliques, int num_graph_vertices);
+std::vector<WcigEdge> max_weight_spanning_forest_reference(
+    const CliqueFamily& cliques, int num_graph_vertices);
 
 /// Per-family MWSF for local views (Lemma 2): selects the spanning forest
 /// of W restricted to the family {cliques[c] : c in family} and appends the
@@ -83,8 +121,8 @@ std::vector<WcigEdge> max_weight_spanning_forest_reference(
 /// vertex u, making W[phi(u)] complete) - exactly the shape
 /// compute_local_view produces. Touches only family-sized scratch: no O(n)
 /// membership array, no allocations once the scratch is warm.
-void family_forest_edges(const std::vector<std::vector<int>>& cliques,
-                         const std::vector<int>& family,
+void family_forest_edges(const CliqueFamily& cliques,
+                         std::span<const CliqueId> family,
                          ForestScratch& scratch,
                          std::vector<std::pair<int, int>>& out);
 

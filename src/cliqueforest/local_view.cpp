@@ -13,7 +13,7 @@ namespace chordal {
 LocalView compute_local_view(const Graph& g, int observer, int radius,
                              const std::vector<char>* active) {
   if (radius < 1) throw std::invalid_argument("local view: radius < 1");
-  std::vector<int> ball =
+  std::vector<VertexId> ball =
       active == nullptr
           ? ball_vertices(g, observer, radius)
           : ball_vertices_restricted(g, observer, radius, *active);
@@ -31,24 +31,27 @@ LocalView compute_local_view(const Graph& g, int observer, int radius,
   // so no outside vertex could extend it.
   auto local_cliques = maximal_cliques_chordal(ball_graph);
   LocalView view;
+  std::vector<std::vector<int>> kept;
   for (auto& clique : local_cliques) {
     bool trusted = false;
     for (int lv : clique) trusted = trusted || dist_in_ball[lv] <= radius - 1;
     if (!trusted) continue;
-    std::vector<int> global;
-    global.reserve(clique.size());
-    for (int lv : clique) global.push_back(original[lv]);
-    std::sort(global.begin(), global.end());
-    view.cliques.push_back(std::move(global));
+    // Globalize in place: the nested word is scratch at this point.
+    for (int& lv : clique) lv = original[lv];
+    std::sort(clique.begin(), clique.end());
+    kept.push_back(std::move(clique));
   }
-  std::sort(view.cliques.begin(), view.cliques.end());
+  std::sort(kept.begin(), kept.end());
+  for (const auto& clique : kept) view.cliques.push_word(clique);
 
   // phi(u) for every trusted vertex u (distance <= radius-1), as a flat
   // sorted (vertex, clique) list: cliques were emitted in sorted order, so
   // sorting the pairs reproduces the per-vertex ascending clique families.
   std::vector<std::pair<int, int>> phi_pairs;
   for (std::size_t c = 0; c < view.cliques.size(); ++c) {
-    for (int v : view.cliques[c]) phi_pairs.emplace_back(v, static_cast<int>(c));
+    for (VertexId v : view.cliques[c]) {
+      phi_pairs.emplace_back(static_cast<int>(v), static_cast<int>(c));
+    }
   }
   std::sort(phi_pairs.begin(), phi_pairs.end());
   for (int lv = 0; lv < ball_graph.num_vertices(); ++lv) {
@@ -64,13 +67,13 @@ LocalView compute_local_view(const Graph& g, int observer, int radius,
   std::vector<std::pair<int, int>> edges;
   ForestScratch scratch;
   std::size_t cursor = 0;
-  std::vector<int> family;
+  std::vector<CliqueId> family;
   for (int u : view.trusted_vertices) {
     // trusted_vertices ascends, so one forward walk covers all families.
     while (cursor < phi_pairs.size() && phi_pairs[cursor].first < u) ++cursor;
     family.clear();
     while (cursor < phi_pairs.size() && phi_pairs[cursor].first == u) {
-      family.push_back(phi_pairs[cursor].second);
+      family.push_back(static_cast<CliqueId>(phi_pairs[cursor].second));
       ++cursor;
     }
     family_forest_edges(view.cliques, family, scratch, edges);

@@ -10,14 +10,17 @@
 
 #include <vector>
 
+#include "cliqueforest/family.hpp"
 #include "graph/graph.hpp"
 
 namespace chordal {
 
 struct LocalView {
   /// Maximal cliques of G visible to the observer, in canonical (sorted)
-  /// order, as global vertex ids.
-  std::vector<std::vector<int>> cliques;
+  /// order, as global vertex ids. Stored as a flat CliqueFamily; index it
+  /// for a CliqueWord span, or word_vec a word where container semantics
+  /// are needed.
+  CliqueFamily cliques;
   /// Clique-forest edges derived from the per-vertex spanning forests,
   /// as index pairs (a < b) into `cliques`.
   std::vector<std::pair<int, int>> forest_edges;

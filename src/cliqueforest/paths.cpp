@@ -13,7 +13,7 @@ namespace {
 int active_degree(const CliqueForest& forest, const std::vector<char>& active,
                   int c) {
   int deg = 0;
-  for (int d : forest.forest_neighbors(c)) deg += active[d] ? 1 : 0;
+  for (CliqueId d : forest.forest_neighbors(c)) deg += active[d] ? 1 : 0;
   return deg;
 }
 
@@ -36,8 +36,8 @@ std::vector<ForestPath> maximal_binary_paths(const CliqueForest& forest,
   // because forest-degree is at most 2. Walk each chain from an endpoint.
   auto binary_neighbors = [&](int c) {
     std::vector<int> out;
-    for (int d : forest.forest_neighbors(c)) {
-      if (active[d] && binary[d]) out.push_back(d);
+    for (CliqueId d : forest.forest_neighbors(c)) {
+      if (active[d] && binary[d]) out.push_back(static_cast<int>(d));
     }
     return out;
   };
@@ -63,8 +63,8 @@ std::vector<ForestPath> maximal_binary_paths(const CliqueForest& forest,
     // chain's endpoint has at most one (its other slot is the chain itself).
     auto attachments = [&](int end) {
       std::vector<int> out;
-      for (int d : forest.forest_neighbors(end)) {
-        if (active[d] && !binary[d]) out.push_back(d);
+      for (CliqueId d : forest.forest_neighbors(end)) {
+        if (active[d] && !binary[d]) out.push_back(static_cast<int>(d));
       }
       return out;
     };
@@ -100,7 +100,8 @@ void path_union_vertices(const CliqueForest& forest, const ForestPath& path,
                          std::vector<int>& out) {
   out.clear();
   for (int c : path.cliques) {
-    out.insert(out.end(), forest.clique(c).begin(), forest.clique(c).end());
+    CliqueWord word = forest.clique(c);
+    out.insert(out.end(), word.begin(), word.end());
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -124,7 +125,7 @@ void path_owned_vertices(const CliqueForest& forest,
   out.clear();
   for (int v : scratch.verts) {
     bool all_inside = true;
-    for (int c : forest.cliques_of(v)) {
+    for (CliqueId c : forest.cliques_of(v)) {
       if (active_clique[c] && scratch.clique_stamp[c] != mark) {
         all_inside = false;
         break;
@@ -159,7 +160,7 @@ void path_intervals(const CliqueForest& forest, const ForestPath& path,
   out.hi.reserve(out.vertices.size());
   for (int v : out.vertices) {
     int lo = out.num_positions, hi = -1;
-    for (int c : forest.cliques_of(v)) {
+    for (CliqueId c : forest.cliques_of(v)) {
       if (scratch.clique_stamp[c] == mark) {
         lo = std::min(lo, scratch.clique_pos[c]);
         hi = std::max(hi, scratch.clique_pos[c]);

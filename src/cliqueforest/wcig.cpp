@@ -58,14 +58,13 @@ std::vector<WcigEdge> wcig_edges(const std::vector<std::vector<int>>& cliques,
   return edges;
 }
 
-void wcig_edges_counting(const std::vector<std::vector<int>>& cliques,
-                         int num_graph_vertices, ForestScratch& scratch,
-                         std::vector<WcigEdge>& out) {
+void wcig_edges_counting(const CliqueFamily& cliques, int num_graph_vertices,
+                         ForestScratch& scratch, std::vector<WcigEdge>& out) {
   out.clear();
   const int m = static_cast<int>(cliques.size());
   if (m < 2) {
     // Still validate vertex ids, matching the reference path's contract.
-    for (const auto& clique : cliques) {
+    for (CliqueWord clique : cliques) {
       for (int v : clique) {
         if (v < 0 || v >= num_graph_vertices) {
           throw std::out_of_range("clique_membership: vertex out of range");
@@ -129,6 +128,19 @@ void wcig_edges_counting(const std::vector<std::vector<int>>& cliques,
                    static_cast<int>(j - i)});
     i = j;
   }
+}
+
+bool wcig_edge_less(const WcigEdge& e, const WcigEdge& f,
+                    const CliqueFamily& cliques) {
+  if (e.weight != f.weight) return e.weight < f.weight;
+  CliqueWord el = cliques[e.a];
+  CliqueWord eh = cliques[e.b];
+  if (word_less(eh, el)) std::swap(el, eh);
+  CliqueWord fl = cliques[f.a];
+  CliqueWord fh = cliques[f.b];
+  if (word_less(fh, fl)) std::swap(fl, fh);
+  if (!word_eq(el, fl)) return word_less(el, fl);
+  return word_less(eh, fh);
 }
 
 bool wcig_edge_less(const WcigEdge& e, const WcigEdge& f,

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "cliqueforest/family.hpp"
+
 namespace chordal {
 
 struct WcigEdge {
@@ -61,17 +63,20 @@ std::vector<WcigEdge> wcig_edges(const std::vector<std::vector<int>>& cliques,
 /// per-pair sorted merges) and the pair list is ordered by a two-pass radix
 /// sort over clique indices (no comparison sort). Runs in
 /// O(sum_v |phi(v)|^2 + #cliques) and touches only scratch storage - no
-/// O(n) membership table is built or cleared.
-void wcig_edges_counting(const std::vector<std::vector<int>>& cliques,
-                         int num_graph_vertices, ForestScratch& scratch,
-                         std::vector<WcigEdge>& out);
+/// O(n) membership table is built or cleared. Takes the flat CliqueFamily
+/// substrate; the nested reference form above stays as the oracle.
+void wcig_edges_counting(const CliqueFamily& cliques, int num_graph_vertices,
+                         ForestScratch& scratch, std::vector<WcigEdge>& out);
 
 /// The paper's strict total order e < f on W_G edges:
 ///   w_e < w_f, or (w_e == w_f and l_e < l_f lexicographically), or
 ///   (both equal and h_e < h_f), where l/h are the lexicographically
 ///   smaller/larger of the two incident cliques' sorted ID words.
 /// Comparing words (not indices) keeps the order meaningful across different
-/// local views that number cliques differently.
+/// local views that number cliques differently. The two overloads implement
+/// the same order on the flat and nested clique representations.
+bool wcig_edge_less(const WcigEdge& e, const WcigEdge& f,
+                    const CliqueFamily& cliques);
 bool wcig_edge_less(const WcigEdge& e, const WcigEdge& f,
                     const std::vector<std::vector<int>>& cliques);
 

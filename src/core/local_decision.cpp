@@ -90,7 +90,9 @@ ChainAnalysis analyze_view(const Graph& g, int v, int radius,
   // during the ball collection are exactly the restricted BFS distances.
   auto clique_maxdist = [&](int c) {
     int far = 0;
-    for (int u : view.cliques[c]) far = std::max(far, shard.ball_dist(u));
+    for (VertexId u : view.cliques[c]) {
+      far = std::max(far, shard.ball_dist(static_cast<int>(u)));
+    }
     return far;
   };
   auto degree_trusted = [&](int c) { return clique_maxdist(c) <= radius - 2; };
@@ -98,8 +100,9 @@ ChainAnalysis analyze_view(const Graph& g, int v, int radius,
   // phi(v) within the view.
   s.family.clear();
   for (int c = 0; c < m; ++c) {
-    if (std::binary_search(view.cliques[c].begin(), view.cliques[c].end(),
-                           v)) {
+    CliqueWord word = view.cliques[c];
+    if (std::binary_search(word.begin(), word.end(),
+                           static_cast<VertexId>(v))) {
       s.family.push_back(c);
     }
   }
@@ -187,8 +190,8 @@ ChainAnalysis analyze_view(const Graph& g, int v, int radius,
   auto& union_vertices = s.union_vertices;
   union_vertices.clear();
   for (int c : chain) {
-    union_vertices.insert(union_vertices.end(), view.cliques[c].begin(),
-                          view.cliques[c].end());
+    CliqueWord word = view.cliques[c];
+    union_vertices.insert(union_vertices.end(), word.begin(), word.end());
   }
   std::sort(union_vertices.begin(), union_vertices.end());
   union_vertices.erase(
@@ -237,8 +240,9 @@ ChainAnalysis analyze_view(const Graph& g, int v, int radius,
     for (int u : union_vertices) {
       int lo = static_cast<int>(chain.size()), hi = -1;
       for (int c : chain) {
-        if (std::binary_search(view.cliques[c].begin(),
-                               view.cliques[c].end(), u)) {
+        CliqueWord word = view.cliques[c];
+        if (std::binary_search(word.begin(), word.end(),
+                               static_cast<VertexId>(u))) {
           lo = std::min(lo, s.chain_pos[c]);
           hi = std::max(hi, s.chain_pos[c]);
         }
@@ -352,7 +356,7 @@ PeelingResult peel_with_local_decisions(const Graph& g,
     for (int c = 0; c < m; ++c) {
       if (!active_clique[c]) continue;
       int deg = 0;
-      for (int nb : forest.forest_neighbors(c)) {
+      for (CliqueId nb : forest.forest_neighbors(c)) {
         deg += active_clique[nb] ? 1 : 0;
       }
       if (deg >= 3) ++high_degree;

@@ -8,12 +8,12 @@ namespace {
 
 /// Multi-source BFS from a clique's vertices, restricted to alive vertices
 /// and capped at `limit` (distances beyond it are reported as -1).
-std::vector<int> clique_distances(const Graph& g,
-                                  const std::vector<int>& clique,
+std::vector<int> clique_distances(const Graph& g, CliqueWord clique,
                                   const std::vector<char>& alive, int limit) {
   std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
   std::vector<int> queue;
-  for (int s : clique) {
+  for (VertexId sv : clique) {
+    int s = static_cast<int>(sv);
     if (dist[s] == -1) {
       dist[s] = 0;
       queue.push_back(s);
@@ -56,14 +56,16 @@ ParentAssignment compute_parents(const Graph& g, const CliqueForest& forest,
       std::vector<int> dist_left, dist_right;
       int cand_left = -1, cand_right = -1;
       if (lp.path.attach_left != -1) {
-        const auto& clique = forest.clique(lp.path.attach_left);
+        CliqueWord clique = forest.clique(lp.path.attach_left);
         dist_left = clique_distances(g, clique, alive, k + 3);
-        cand_left = *std::max_element(clique.begin(), clique.end());
+        cand_left =
+            static_cast<int>(*std::max_element(clique.begin(), clique.end()));
       }
       if (lp.path.attach_right != -1) {
-        const auto& clique = forest.clique(lp.path.attach_right);
+        CliqueWord clique = forest.clique(lp.path.attach_right);
         dist_right = clique_distances(g, clique, alive, k + 3);
-        cand_right = *std::max_element(clique.begin(), clique.end());
+        cand_right =
+            static_cast<int>(*std::max_element(clique.begin(), clique.end()));
       }
       for (int v : lp.owned) {
         int best = -1, cand = -1;

@@ -50,7 +50,7 @@ PeelingResult peel(const Graph& g, const CliqueForest& forest,
     for (int c = 0; c < m; ++c) {
       if (!active[c]) continue;
       int deg = 0;
-      for (int nb : forest.forest_neighbors(c)) deg += active[nb] ? 1 : 0;
+      for (CliqueId nb : forest.forest_neighbors(c)) deg += active[nb] ? 1 : 0;
       if (deg >= 3) ++high_degree;
     }
     result.high_degree_counts.push_back(high_degree);

@@ -8,12 +8,12 @@ namespace {
 
 std::vector<int> bfs_impl(const Graph& g, std::span<const int> sources,
                           const std::vector<char>* active, int radius_limit,
-                          std::vector<int>* order) {
+                          std::vector<VertexId>* order) {
   std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
   // Flat frontier: every vertex enters at most once, so a plain vector with
   // a read cursor replaces the deque (no per-block allocation, and the
   // visit sequence doubles as the BFS order).
-  std::vector<int> queue;
+  std::vector<VertexId> queue;
   queue.reserve(sources.size());
   for (int s : sources) {
     if (s < 0 || s >= g.num_vertices()) {
@@ -24,14 +24,14 @@ std::vector<int> bfs_impl(const Graph& g, std::span<const int> sources,
     }
     if (dist[s] == -1) {
       dist[s] = 0;
-      queue.push_back(s);
-      if (order != nullptr) order->push_back(s);
+      queue.push_back(static_cast<VertexId>(s));
+      if (order != nullptr) order->push_back(static_cast<VertexId>(s));
     }
   }
   for (std::size_t head = 0; head < queue.size(); ++head) {
-    int u = queue[head];
+    int u = static_cast<int>(queue[head]);
     if (radius_limit >= 0 && dist[u] >= radius_limit) continue;
-    for (int w : g.neighbors(u)) {
+    for (VertexId w : g.neighbors(u)) {
       if (dist[w] != -1) continue;
       if (active != nullptr && !(*active)[w]) continue;
       dist[w] = dist[u] + 1;
@@ -40,6 +40,39 @@ std::vector<int> bfs_impl(const Graph& g, std::span<const int> sources,
     }
   }
   return dist;
+}
+
+// Scratch core shared by the allocation-free forms: stamped visit marks and
+// distances, flat frontier in scratch.order. Same visit order and distances
+// as bfs_impl by construction.
+std::span<const VertexId> bfs_scratch_impl(const Graph& g, int source,
+                                           const std::vector<char>* active,
+                                           int radius_limit,
+                                           BfsScratch& s) {
+  if (source < 0 || source >= g.num_vertices()) {
+    throw std::out_of_range("bfs: source out of range");
+  }
+  if (active != nullptr && !(*active)[source]) {
+    throw std::invalid_argument("bfs: inactive source");
+  }
+  s.ensure(g.num_vertices());
+  const std::uint64_t visit = ++s.epoch;
+  s.order.clear();
+  s.stamp[source] = visit;
+  s.dist[source] = 0;
+  s.order.push_back(static_cast<VertexId>(source));
+  for (std::size_t head = 0; head < s.order.size(); ++head) {
+    int u = static_cast<int>(s.order[head]);
+    if (radius_limit >= 0 && s.dist[u] >= radius_limit) continue;
+    for (VertexId w : g.neighbors(u)) {
+      if (s.stamp[w] == visit) continue;
+      if (active != nullptr && !(*active)[w]) continue;
+      s.stamp[w] = visit;
+      s.dist[w] = s.dist[u] + 1;
+      s.order.push_back(w);
+    }
+  }
+  return s.order;
 }
 
 }  // namespace
@@ -60,20 +93,34 @@ std::vector<int> bfs_distances_restricted(const Graph& g, int source,
   return bfs_impl(g, s, &active, -1, nullptr);
 }
 
-std::vector<int> ball_vertices(const Graph& g, int center, int radius) {
-  std::vector<int> order;
+std::vector<VertexId> ball_vertices(const Graph& g, int center, int radius) {
+  std::vector<VertexId> order;
   int s[] = {center};
   bfs_impl(g, s, nullptr, radius, &order);
   return order;
 }
 
-std::vector<int> ball_vertices_restricted(const Graph& g, int center,
-                                          int radius,
-                                          const std::vector<char>& active) {
-  std::vector<int> order;
+std::vector<VertexId> ball_vertices_restricted(
+    const Graph& g, int center, int radius, const std::vector<char>& active) {
+  std::vector<VertexId> order;
   int s[] = {center};
   bfs_impl(g, s, &active, radius, &order);
   return order;
+}
+
+std::span<const VertexId> ball_vertices(const Graph& g, int center, int radius,
+                                        BfsScratch& scratch) {
+  return bfs_scratch_impl(g, center, nullptr, radius, scratch);
+}
+
+std::span<const VertexId> ball_vertices_restricted(
+    const Graph& g, int center, int radius, const std::vector<char>& active,
+    BfsScratch& scratch) {
+  return bfs_scratch_impl(g, center, &active, radius, scratch);
+}
+
+std::size_t bfs_scratch(const Graph& g, int source, BfsScratch& scratch) {
+  return bfs_scratch_impl(g, source, nullptr, -1, scratch).size();
 }
 
 int distance_between(const Graph& g, int u, int v) {

@@ -54,6 +54,62 @@ std::vector<std::vector<int>> maximal_cliques_chordal(const Graph& g) {
   return maximal_cliques_chordal(g, peo_or_throw(g));
 }
 
+CliqueFamily maximal_cliques_chordal_family(const Graph& g,
+                                            const EliminationOrder& peo) {
+  const int n = g.num_vertices();
+  // Same Fulkerson-Gross extraction as the nested form above, but the words
+  // stream into one flat staging family, which is then emitted in canonical
+  // lexicographic order through an index argsort. The words of distinct
+  // maximal cliques are distinct, so the order (and hence the output) is
+  // exactly the nested path's.
+  std::vector<int> later_count(static_cast<std::size_t>(n), 0);
+  std::vector<int> follower(static_cast<std::size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    for (int w : g.neighbors(v)) {
+      if (peo.position[w] > peo.position[v]) {
+        ++later_count[v];
+        if (follower[v] == -1 ||
+            peo.position[w] < peo.position[follower[v]]) {
+          follower[v] = w;
+        }
+      }
+    }
+  }
+  std::vector<int> reach(static_cast<std::size_t>(n), -1);
+  for (int u = 0; u < n; ++u) {
+    if (follower[u] != -1) {
+      reach[follower[u]] = std::max(reach[follower[u]], later_count[u]);
+    }
+  }
+  CliqueFamily stage;
+  std::vector<VertexId> word;
+  for (int v = 0; v < n; ++v) {
+    if (reach[v] >= later_count[v] + 1) continue;  // dominated, not maximal
+    word.clear();
+    word.push_back(static_cast<VertexId>(v));
+    for (VertexId w : g.neighbors(v)) {
+      if (peo.position[w] > peo.position[v]) word.push_back(w);
+    }
+    std::sort(word.begin(), word.end());
+    stage.push_word(word);
+  }
+  const std::size_t m = stage.size();
+  std::vector<int> order(m);
+  for (std::size_t c = 0; c < m; ++c) order[c] = static_cast<int>(c);
+  std::sort(order.begin(), order.end(), [&stage](int a, int b) {
+    return word_less(stage[static_cast<std::size_t>(a)],
+                     stage[static_cast<std::size_t>(b)]);
+  });
+  CliqueFamily out;
+  out.reserve(m, stage.total_vertices());
+  for (int c : order) out.push_word(stage[static_cast<std::size_t>(c)]);
+  return out;
+}
+
+CliqueFamily maximal_cliques_chordal_family(const Graph& g) {
+  return maximal_cliques_chordal_family(g, peo_or_throw(g));
+}
+
 namespace {
 
 void bron_kerbosch(const Graph& g, std::vector<int>& r, std::vector<int> p,
@@ -115,6 +171,13 @@ bool cliques_lex_sorted(const std::vector<std::vector<int>>& cliques) {
   return true;
 }
 
+bool cliques_lex_sorted(const CliqueFamily& cliques) {
+  for (std::size_t c = 1; c < cliques.size(); ++c) {
+    if (!word_less(cliques[c - 1], cliques[c])) return false;
+  }
+  return true;
+}
+
 std::vector<int> clique_lex_ranks(
     const std::vector<std::vector<int>>& cliques) {
   const int m = static_cast<int>(cliques.size());
@@ -122,6 +185,19 @@ std::vector<int> clique_lex_ranks(
   for (int c = 0; c < m; ++c) order[c] = c;
   std::stable_sort(order.begin(), order.end(), [&cliques](int a, int b) {
     return cliques[a] < cliques[b];
+  });
+  std::vector<int> ranks(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) ranks[order[r]] = r;
+  return ranks;
+}
+
+std::vector<int> clique_lex_ranks(const CliqueFamily& cliques) {
+  const int m = static_cast<int>(cliques.size());
+  std::vector<int> order(static_cast<std::size_t>(m));
+  for (int c = 0; c < m; ++c) order[c] = c;
+  std::stable_sort(order.begin(), order.end(), [&cliques](int a, int b) {
+    return word_less(cliques[static_cast<std::size_t>(a)],
+                     cliques[static_cast<std::size_t>(b)]);
   });
   std::vector<int> ranks(static_cast<std::size_t>(m));
   for (int r = 0; r < m; ++r) ranks[order[r]] = r;

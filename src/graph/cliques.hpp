@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "cliqueforest/family.hpp"
 #include "graph/graph.hpp"
 #include "graph/peo.hpp"
 
@@ -23,6 +24,13 @@ std::vector<std::vector<int>> maximal_cliques_chordal(const Graph& g);
 std::vector<std::vector<int>> maximal_cliques_chordal(
     const Graph& g, const EliminationOrder& peo);
 
+/// Flat-substrate form: the same canonical family, emitted straight into a
+/// CliqueFamily slab (no vector<vector<int>> staging). This is the path the
+/// full-graph forest build takes at million-node scale.
+CliqueFamily maximal_cliques_chordal_family(const Graph& g);
+CliqueFamily maximal_cliques_chordal_family(const Graph& g,
+                                            const EliminationOrder& peo);
+
 /// Bron-Kerbosch with pivoting; works on any graph. Exponential in the worst
 /// case - intended for tests on small instances. Output canonicalized the
 /// same way as maximal_cliques_chordal.
@@ -35,6 +43,7 @@ int max_clique_size_chordal(const Graph& g);
 /// the canonical order produced by maximal_cliques_chordal and required by
 /// the fast forest engine's rank-free tie-breaks (rank == index).
 bool cliques_lex_sorted(const std::vector<std::vector<int>>& cliques);
+bool cliques_lex_sorted(const CliqueFamily& cliques);
 
 /// Lexicographic rank of every clique word within the family: ranks[c] == r
 /// means cliques[c] is the r-th smallest word. Computed once per family so
@@ -44,5 +53,6 @@ bool cliques_lex_sorted(const std::vector<std::vector<int>>& cliques);
 /// between equal words are broken by index.
 std::vector<int> clique_lex_ranks(
     const std::vector<std::vector<int>>& cliques);
+std::vector<int> clique_lex_ranks(const CliqueFamily& cliques);
 
 }  // namespace chordal

@@ -1,7 +1,5 @@
 #include "graph/components.hpp"
 
-#include <queue>
-
 namespace chordal {
 
 std::vector<std::vector<int>> Components::groups() const {
@@ -14,39 +12,61 @@ std::vector<std::vector<int>> Components::groups() const {
 
 namespace {
 
-Components components_impl(const Graph& g, const std::vector<char>* active) {
-  Components result;
-  result.component.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+// Flat-frontier flood fill: the scratch's order vector replaces the deque
+// (FIFO via a read cursor, so the visit order - and hence the component
+// numbering - matches the former std::queue implementation exactly).
+int components_impl(const Graph& g, const std::vector<char>* active,
+                    BfsScratch& scratch, std::vector<int>& component) {
+  component.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  auto& queue = scratch.order;
+  int count = 0;
   for (int start = 0; start < g.num_vertices(); ++start) {
-    if (result.component[start] != -1) continue;
+    if (component[start] != -1) continue;
     if (active != nullptr && !(*active)[start]) continue;
-    int id = result.count++;
-    std::queue<int> queue;
-    queue.push(start);
-    result.component[start] = id;
-    while (!queue.empty()) {
-      int u = queue.front();
-      queue.pop();
-      for (int w : g.neighbors(u)) {
-        if (result.component[w] != -1) continue;
+    int id = count++;
+    queue.clear();
+    queue.push_back(static_cast<VertexId>(start));
+    component[start] = id;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      int u = static_cast<int>(queue[head]);
+      for (VertexId w : g.neighbors(u)) {
+        if (component[w] != -1) continue;
         if (active != nullptr && !(*active)[w]) continue;
-        result.component[w] = id;
-        queue.push(w);
+        component[w] = id;
+        queue.push_back(w);
       }
     }
   }
-  return result;
+  return count;
 }
 
 }  // namespace
 
+int connected_components(const Graph& g, BfsScratch& scratch,
+                         std::vector<int>& component) {
+  return components_impl(g, nullptr, scratch, component);
+}
+
+int connected_components_restricted(const Graph& g,
+                                    const std::vector<char>& active,
+                                    BfsScratch& scratch,
+                                    std::vector<int>& component) {
+  return components_impl(g, &active, scratch, component);
+}
+
 Components connected_components(const Graph& g) {
-  return components_impl(g, nullptr);
+  Components result;
+  BfsScratch scratch;
+  result.count = components_impl(g, nullptr, scratch, result.component);
+  return result;
 }
 
 Components connected_components_restricted(const Graph& g,
                                            const std::vector<char>& active) {
-  return components_impl(g, &active);
+  Components result;
+  BfsScratch scratch;
+  result.count = components_impl(g, &active, scratch, result.component);
+  return result;
 }
 
 }  // namespace chordal

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "graph/bfs.hpp"
 #include "graph/graph.hpp"
 
 namespace chordal {
@@ -22,5 +23,16 @@ Components connected_components(const Graph& g);
 /// get component -1.
 Components connected_components_restricted(const Graph& g,
                                            const std::vector<char>& active);
+
+/// Scratch form: fills `component` (one slot per vertex, -1 for inactive)
+/// and returns the component count. Uses the scratch's flat frontier, so
+/// steady-state calls allocate nothing beyond `component` growth; component
+/// ids match the allocating forms (ascending in smallest member).
+int connected_components(const Graph& g, BfsScratch& scratch,
+                         std::vector<int>& component);
+int connected_components_restricted(const Graph& g,
+                                    const std::vector<char>& active,
+                                    BfsScratch& scratch,
+                                    std::vector<int>& component);
 
 }  // namespace chordal

@@ -9,40 +9,62 @@ namespace chordal {
 
 namespace {
 
-int max_finite_distance(const std::vector<int>& dist) {
-  int best = 0;
-  for (int d : dist) {
-    if (d == -1) throw std::invalid_argument("diameter: graph not connected");
-    best = std::max(best, d);
+// BFS visits vertices in distance order, so after a full sweep the last
+// frontier entry carries the eccentricity of the source.
+int sweep_eccentricity(const Graph& g, int source, BfsScratch& s,
+                       const char* message) {
+  const std::size_t reached = bfs_scratch(g, source, s);
+  if (reached != static_cast<std::size_t>(g.num_vertices())) {
+    throw std::invalid_argument(message);
   }
-  return best;
+  return s.dist[s.order.back()];
 }
 
 }  // namespace
 
-int diameter_exact(const Graph& g) {
+int diameter_exact(const Graph& g, BfsScratch& scratch) {
   if (g.num_vertices() <= 1) return 0;
   int best = 0;
   for (int v = 0; v < g.num_vertices(); ++v) {
-    best = std::max(best, max_finite_distance(bfs_distances(g, v)));
+    best = std::max(
+        best, sweep_eccentricity(g, v, scratch, "diameter: graph not connected"));
   }
   return best;
 }
 
-int diameter_double_sweep(const Graph& g, int seed) {
+int diameter_exact(const Graph& g) {
+  BfsScratch scratch;
+  return diameter_exact(g, scratch);
+}
+
+int diameter_double_sweep(const Graph& g, int seed, BfsScratch& scratch) {
   if (g.num_vertices() <= 1) return 0;
-  auto dist = bfs_distances(g, seed);
+  const std::size_t reached = bfs_scratch(g, seed, scratch);
+  if (reached != static_cast<std::size_t>(g.num_vertices())) {
+    throw std::invalid_argument("diameter: not connected");
+  }
+  // Farthest vertex, ties to the smallest id - the ascending scan matches
+  // the allocating form exactly (all distances are stamped: connected).
   int far = seed;
   for (int v = 0; v < g.num_vertices(); ++v) {
-    if (dist[v] == -1) throw std::invalid_argument("diameter: not connected");
-    if (dist[v] > dist[far]) far = v;
+    if (scratch.dist[v] > scratch.dist[far]) far = v;
   }
-  return max_finite_distance(bfs_distances(g, far));
+  return sweep_eccentricity(g, far, scratch, "diameter: not connected");
+}
+
+int diameter_double_sweep(const Graph& g, int seed) {
+  BfsScratch scratch;
+  return diameter_double_sweep(g, seed, scratch);
+}
+
+int eccentricity(const Graph& g, int v, BfsScratch& scratch) {
+  if (g.num_vertices() <= 1) return 0;
+  return sweep_eccentricity(g, v, scratch, "diameter: graph not connected");
 }
 
 int eccentricity(const Graph& g, int v) {
-  if (g.num_vertices() <= 1) return 0;
-  return max_finite_distance(bfs_distances(g, v));
+  BfsScratch scratch;
+  return eccentricity(g, v, scratch);
 }
 
 void SubsetSweepScratch::ensure(int num_vertices) {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/bfs.hpp"
 #include "graph/graph.hpp"
 
 namespace chordal {
@@ -25,6 +26,13 @@ int diameter_double_sweep(const Graph& g, int seed = 0);
 
 /// Eccentricity of v (max distance to any vertex; requires connectivity).
 int eccentricity(const Graph& g, int v);
+
+/// Scratch forms: identical results, but every BFS runs through the
+/// epoch-stamped BfsScratch - diameter_exact drops from n allocations to
+/// zero once the scratch is warm. The allocating forms above delegate here.
+int diameter_exact(const Graph& g, BfsScratch& scratch);
+int diameter_double_sweep(const Graph& g, int seed, BfsScratch& scratch);
+int eccentricity(const Graph& g, int v, BfsScratch& scratch);
 
 /// Reusable scratch for diameter_double_sweep_subset. Epoch-stamped, so a
 /// call touches only subset-sized state; one scratch per worker thread.

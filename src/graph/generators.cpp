@@ -2,9 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "graph/ids.hpp"
+
 namespace chordal {
+
+namespace {
+
+// Streaming generators take long long n (they target scales where the count
+// itself is the interesting input); the Graph API computes in int, so both
+// the configured id width and INT_MAX bound the accepted range.
+void check_streaming_vertex_count(long long n, const char* what) {
+  checked_vertex_id(n, what);
+  if (n > static_cast<long long>(std::numeric_limits<int>::max())) {
+    throw IdOverflowError(std::string(what) + ": vertex count " +
+                          std::to_string(n) +
+                          " exceeds the Graph API bound INT_MAX");
+  }
+}
+
+}  // namespace
 
 Graph path_graph(int n) {
   GraphBuilder b(n);
@@ -278,6 +297,162 @@ Graph random_k_tree(int n, int k, std::uint64_t seed) {
     }
   }
   return b.build();
+}
+
+StreamingInterval streaming_interval_graph(const StreamingIntervalConfig& c) {
+  if (c.n < 0) {
+    throw std::invalid_argument("streaming_interval_graph: negative n");
+  }
+  if (c.gap_mean <= 0.0 || c.min_len < 0.0 || c.max_len < c.min_len) {
+    throw std::invalid_argument("streaming_interval_graph: bad geometry");
+  }
+  check_streaming_vertex_count(c.n, "streaming_interval_graph");
+  const long long n = c.n;
+  Rng rng(c.seed);
+  StreamingInterval out;
+  out.left.resize(static_cast<std::size_t>(n));
+  out.right.resize(static_cast<std::size_t>(n));
+  double cursor = 0.0;
+  for (long long v = 0; v < n; ++v) {
+    // Exponential arrival gaps keep the left endpoints sorted as generated.
+    cursor += -std::log1p(-rng.uniform01()) * c.gap_mean;
+    const double len = c.min_len + rng.uniform01() * (c.max_len - c.min_len);
+    out.left[v] = cursor;
+    out.right[v] = cursor + len;
+  }
+  if (n == 0) {
+    out.graph.adopt_csr(0, std::vector<EdgeIndex>(1, 0), {});
+    return out;
+  }
+  // Pass 1: v's forward neighbors are the contiguous range (v, reach[v]]
+  // (left endpoints sorted). Forward degrees come straight from the scan;
+  // backward degrees via a difference array over those ranges. Total scan
+  // cost is O(n + m).
+  std::vector<VertexId> reach(static_cast<std::size_t>(n));
+  std::vector<EdgeIndex> bwd_diff(static_cast<std::size_t>(n) + 1, 0);
+  long long total = 0;
+  for (long long v = 0; v < n; ++v) {
+    long long j = v + 1;
+    while (j < n && out.left[j] <= out.right[v]) ++j;
+    reach[v] = static_cast<VertexId>(j - 1);
+    const long long fwd = j - 1 - v;
+    if (fwd > 0) {
+      total += 2 * fwd;
+      ++bwd_diff[static_cast<std::size_t>(v) + 1];
+      --bwd_diff[static_cast<std::size_t>(j)];
+    }
+  }
+  checked_edge_index(total, "streaming_interval_graph adjacency volume");
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  EdgeIndex running_bwd = 0;
+  for (long long v = 0; v < n; ++v) {
+    running_bwd += bwd_diff[static_cast<std::size_t>(v)];
+    const EdgeIndex degree =
+        static_cast<EdgeIndex>(reach[v] - v) + running_bwd;
+    offsets[v + 1] = offsets[v] + degree;
+  }
+  bwd_diff.clear();
+  bwd_diff.shrink_to_fit();
+  // Pass 2: one write cursor per row. Processing v ascending writes each
+  // row's backward part (from smaller v) before its forward part, and both
+  // parts ascend - rows come out sorted with no post-pass.
+  std::vector<VertexId> adj(static_cast<std::size_t>(total));
+  std::vector<EdgeIndex> cur(offsets.begin(), offsets.end() - 1);
+  for (long long v = 0; v < n; ++v) {
+    for (long long u = v + 1; u <= reach[v]; ++u) {
+      adj[static_cast<std::size_t>(cur[v]++)] = static_cast<VertexId>(u);
+      adj[static_cast<std::size_t>(cur[u]++)] = static_cast<VertexId>(v);
+    }
+  }
+  out.graph.adopt_csr(static_cast<int>(n), std::move(offsets),
+                      std::move(adj));
+  return out;
+}
+
+Graph streaming_k_tree(long long n, int k, std::uint64_t seed) {
+  if (k < 1 || n < k + 1) {
+    throw std::invalid_argument("random_k_tree: need n >= k+1, k >= 1");
+  }
+  check_streaming_vertex_count(n, "streaming_k_tree");
+  Rng rng(seed);
+  const long long added = n - (k + 1);
+  // One flat attachment slab replaces random_k_tree's k_cliques list: the
+  // k host vertices of each added vertex, stored in the legacy host-word
+  // order. Cliques exist only implicitly - clique id c > k decodes to
+  // (owner = k+1 + (c-k-1)/k, skip = (c-k-1)%k) with member word
+  // [attach(owner) minus slot skip, then owner], which is exactly the word
+  // the legacy generator materialized. Initial cliques c <= k are
+  // {0..k} \ {c}. The RNG call sequence (one next_below per added vertex,
+  // same modulus) matches random_k_tree, so the generated graph is
+  // bit-identical (asserted by tests/substrate_test.cpp).
+  std::vector<VertexId> attach(static_cast<std::size_t>(added) *
+                               static_cast<std::size_t>(k));
+  for (long long v = k + 1; v < n; ++v) {
+    const long long num_cliques = (k + 1) + (v - (k + 1)) * k;
+    const long long c =
+        static_cast<long long>(rng.next_below(
+            static_cast<std::uint64_t>(num_cliques)));
+    VertexId* word =
+        attach.data() + static_cast<std::size_t>(v - (k + 1)) * k;
+    if (c <= k) {
+      int w = 0;
+      for (int u = 0; u <= k; ++u) {
+        if (u != c) word[w++] = static_cast<VertexId>(u);
+      }
+    } else {
+      const long long t = c - (k + 1);
+      const long long owner = (k + 1) + t / k;
+      const int skip = static_cast<int>(t % k);
+      const VertexId* host =
+          attach.data() + static_cast<std::size_t>(owner - (k + 1)) * k;
+      int w = 0;
+      for (int i = 0; i < k; ++i) {
+        if (i != skip) word[w++] = host[i];
+      }
+      word[w] = static_cast<VertexId>(owner);
+    }
+  }
+  // Degrees -> offsets: the initial K_{k+1} gives every vertex 0..k degree
+  // k; each added vertex contributes k to itself and 1 to each host.
+  const long long total =
+      2 * (static_cast<long long>(k) * (k + 1) / 2 + added * k);
+  checked_edge_index(total, "streaming_k_tree adjacency volume");
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (int u = 0; u <= k; ++u) offsets[u + 1] = static_cast<EdgeIndex>(k);
+  for (long long v = k + 1; v < n; ++v) {
+    const VertexId* word =
+        attach.data() + static_cast<std::size_t>(v - (k + 1)) * k;
+    offsets[v + 1] += static_cast<EdgeIndex>(k);
+    for (int i = 0; i < k; ++i) ++offsets[static_cast<std::size_t>(word[i]) + 1];
+  }
+  for (long long v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  // Fill: initial clique rows ascending; then each added vertex writes its
+  // own (sorted) host word and appends itself to the hosts' rows. Appended
+  // ids ascend with v and exceed everything already in those rows, so every
+  // row is born sorted.
+  std::vector<VertexId> adj(static_cast<std::size_t>(total));
+  std::vector<EdgeIndex> cur(offsets.begin(), offsets.end() - 1);
+  for (int u = 0; u <= k; ++u) {
+    for (int w = 0; w <= k; ++w) {
+      if (w != u) adj[static_cast<std::size_t>(cur[u]++)] =
+          static_cast<VertexId>(w);
+    }
+  }
+  std::vector<VertexId> word_sorted(static_cast<std::size_t>(k));
+  for (long long v = k + 1; v < n; ++v) {
+    const VertexId* word =
+        attach.data() + static_cast<std::size_t>(v - (k + 1)) * k;
+    std::copy(word, word + k, word_sorted.begin());
+    std::sort(word_sorted.begin(), word_sorted.end());
+    for (int i = 0; i < k; ++i) {
+      adj[static_cast<std::size_t>(cur[v]++)] = word_sorted[i];
+      adj[static_cast<std::size_t>(cur[word_sorted[i]]++)] =
+          static_cast<VertexId>(v);
+    }
+  }
+  Graph g;
+  g.adopt_csr(static_cast<int>(n), std::move(offsets), std::move(adj));
+  return g;
 }
 
 }  // namespace chordal

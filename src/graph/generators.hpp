@@ -120,4 +120,50 @@ GeneratedInterval staircase_interval(int n, double step, double jitter,
 /// vertex attaches to a uniformly random existing k-clique.
 Graph random_k_tree(int n, int k, std::uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Streaming million-node generators
+//
+// The bulk generators above stage edges in a GraphBuilder pair list (and
+// random_k_tree additionally materializes every k-clique as its own
+// vector), which at n = 10^6..10^7 costs multiples of the final CSR slab in
+// peak memory. The streaming forms below emit edges directly into the final
+// offsets/adjacency slabs - two passes, no pair list, no per-clique
+// vectors - so peak resident memory is the output graph plus O(n) flat
+// scratch. Counts narrow through graph/ids.hpp and raise IdOverflowError
+// rather than truncating.
+// ---------------------------------------------------------------------------
+
+struct StreamingIntervalConfig {
+  long long n = 1'000'000;
+  /// Mean gap between consecutive (sorted) left endpoints: arrivals form a
+  /// Poisson process with this spacing, so intervals stream in left-endpoint
+  /// order and each vertex's forward neighbors are a contiguous id range.
+  double gap_mean = 1.0;
+  /// Interval length uniform in [min_len, max_len]; the expected degree is
+  /// about 2 * E[length] / gap_mean.
+  double min_len = 4.0;
+  double max_len = 8.0;
+  std::uint64_t seed = 1;
+};
+
+struct StreamingInterval {
+  Graph graph;
+  std::vector<double> left;   // sorted ascending (arrival order == id order)
+  std::vector<double> right;  // left[v] + length[v]
+};
+
+/// Random interval graph built edge-by-edge into CSR: one pass computes
+/// per-vertex degrees (forward by overlap scan, backward by a difference
+/// array), a prefix sum sizes the slab exactly, and a second pass scatters
+/// both edge directions in sorted order. Peak memory = final slab + O(n).
+StreamingInterval streaming_interval_graph(const StreamingIntervalConfig& c);
+
+/// Random k-tree identical to random_k_tree(n, k, seed) - same RNG call
+/// sequence, same edge set, bit-identical CSR - but built through a flat
+/// attachment slab (k host ids per vertex) with cliques represented
+/// implicitly as (owner vertex, skipped slot) pairs, and edges streamed
+/// straight into the CSR slab. Peak memory drops from O(n*k) small vectors
+/// plus an edge pair list to one k*n id slab plus the output graph.
+Graph streaming_k_tree(long long n, int k, std::uint64_t seed);
+
 }  // namespace chordal

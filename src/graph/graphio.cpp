@@ -1,8 +1,13 @@
 #include "graph/graphio.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "graph/csr.hpp"
+#include "graph/ids.hpp"
+#include "obs/metrics.hpp"
 
 namespace chordal {
 
@@ -12,10 +17,21 @@ void write_graph(std::ostream& out, const Graph& g) {
 }
 
 Graph read_graph(std::istream& in) {
-  // Every field is validated before it reaches GraphBuilder, so a hostile
+  // Every field is validated before it reaches the assembler, so a hostile
   // or truncated stream produces a runtime_error naming the offending line
   // (line 1 is the "n m" header; edge i lives on line i + 2 of the
   // canonical format) instead of a builder error with no input context.
+  // Edges stream straight into CsrAssembler's flat endpoint buffer - no
+  // adjacency-list staging - and the telemetry below reports how many input
+  // bytes became how many resident slab bytes.
+  const std::streampos start_pos = in.tellg();
+  auto consumed_bytes = [&in, start_pos]() -> long long {
+    const std::streampos here = in.tellg();
+    if (start_pos == std::streampos(-1) || here == std::streampos(-1)) {
+      return -1;
+    }
+    return static_cast<long long>(here - start_pos);
+  };
   auto fail = [](long long line, const std::string& what) {
     throw std::runtime_error("read_graph: line " + std::to_string(line) +
                              ": " + what);
@@ -24,8 +40,18 @@ Graph read_graph(std::istream& in) {
   long long m = 0;
   if (!(in >> n)) fail(1, "malformed header (expected vertex count)");
   if (n < 0) fail(1, "negative vertex count " + std::to_string(n));
-  if (n > std::numeric_limits<int>::max()) {
-    fail(1, "vertex count " + std::to_string(n) + " overflows int");
+  // The id-width guard: a header beyond the configured VertexId (or the
+  // Graph API bound INT_MAX) raises the typed overflow error instead of
+  // truncating into the slab types.
+  const long long vertex_bound =
+      std::min(static_cast<long long>(std::numeric_limits<VertexId>::max()),
+               static_cast<long long>(std::numeric_limits<int>::max()));
+  if (n > vertex_bound) {
+    throw IdOverflowError(
+        "read_graph: line 1: vertex count " + std::to_string(n) +
+        " overflows the " + std::to_string(id_bits()) +
+        "-bit vertex id space [0, " + std::to_string(vertex_bound) +
+        "] (rebuild with CHORDAL_WIDE_IDS for wider slabs)");
   }
   if (!(in >> m)) fail(1, "malformed header (expected edge count)");
   if (m < 0) fail(1, "negative edge count " + std::to_string(m));
@@ -34,20 +60,42 @@ Graph read_graph(std::istream& in) {
     fail(1, "edge count " + std::to_string(m) + " exceeds n*(n-1)/2 = " +
                 std::to_string(max_edges) + " for n = " + std::to_string(n));
   }
-  GraphBuilder b(static_cast<int>(n));
+  CsrAssembler assembler(n);
   for (long long i = 0; i < m; ++i) {
     long long line = i + 2;
     long long u = 0, v = 0;
-    if (!(in >> u >> v)) fail(line, "truncated edge list");
+    if (!(in >> u >> v)) {
+      const long long bytes = consumed_bytes();
+      fail(line, "truncated edge list (expected " + std::to_string(m) +
+                     " edges, got " + std::to_string(i) +
+                     (bytes >= 0 ? "; consumed " + std::to_string(bytes) +
+                                       " input bytes, " +
+                                       std::to_string(assembler.staged_bytes()) +
+                                       " staged"
+                                 : "") +
+                     ")");
+    }
     if (u < 0 || u >= n || v < 0 || v >= n) {
       fail(line, "endpoint out of range in edge (" + std::to_string(u) +
                      ", " + std::to_string(v) + "), valid vertices are [0, " +
                      std::to_string(n) + ")");
     }
     if (u == v) fail(line, "self-loop at vertex " + std::to_string(u));
-    b.add_edge(static_cast<int>(u), static_cast<int>(v));
+    assembler.add_edge(u, v);
   }
-  return b.build();
+  const long long staged = static_cast<long long>(assembler.staged_bytes());
+  Graph g = assembler.finish();
+  if (obs::Registry* reg = obs::current()) {
+    const long long bytes = consumed_bytes();
+    if (bytes >= 0) {
+      reg->gauge("io.read_graph.input_bytes").set(static_cast<double>(bytes));
+    }
+    reg->gauge("io.read_graph.staged_peak_bytes")
+        .set(static_cast<double>(staged));
+    reg->gauge("io.read_graph.resident_bytes")
+        .set(static_cast<double>(g.memory_bytes()));
+  }
+  return g;
 }
 
 std::string graph_to_string(const Graph& g) {

@@ -1,5 +1,6 @@
 #include "graph/power.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "graph/bfs.hpp"
@@ -8,13 +9,30 @@ namespace chordal {
 
 Graph graph_power(const Graph& g, int k) {
   if (k < 1) throw std::invalid_argument("graph_power: k < 1");
-  GraphBuilder b(g.num_vertices());
-  for (int v = 0; v < g.num_vertices(); ++v) {
-    for (int u : ball_vertices(g, v, k)) {
-      if (u > v) b.add_edge(v, u);
-    }
+  const int n = g.num_vertices();
+  // Row v of G^k is exactly ball(v, k) minus v, and the relation is
+  // symmetric, so two scratch-BFS passes fill the CSR slab directly: no
+  // edge-pair staging, no per-vertex ball allocation.
+  BfsScratch scratch;
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  long long total = 0;
+  for (int v = 0; v < n; ++v) {
+    total += static_cast<long long>(ball_vertices(g, v, k, scratch).size()) - 1;
+    checked_edge_index(total, "graph_power adjacency volume");
+    offsets[v + 1] = static_cast<EdgeIndex>(total);
   }
-  return b.build();
+  std::vector<VertexId> adj(static_cast<std::size_t>(total));
+  for (int v = 0; v < n; ++v) {
+    auto row = adj.begin() + offsets[v];
+    auto cursor = row;
+    for (VertexId u : ball_vertices(g, v, k, scratch)) {
+      if (u != v) *cursor++ = u;
+    }
+    std::sort(row, cursor);
+  }
+  Graph out;
+  out.adopt_csr(n, std::move(offsets), std::move(adj));
+  return out;
 }
 
 }  // namespace chordal

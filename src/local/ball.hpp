@@ -51,9 +51,9 @@ class RoundLedger {
 /// A node's collected distance-`radius` ball in the subgraph induced by
 /// {u : active == nullptr || (*active)[u]}.
 struct Ball {
-  std::vector<int> vertices;  // BFS order; vertices[0] == center
-  Graph graph;                // induced subgraph, indices into `vertices`
-  std::vector<int> dist;      // distance from center, per local index
+  std::vector<VertexId> vertices;  // BFS order; vertices[0] == center
+  Graph graph;   // induced subgraph, indices into `vertices`
+  std::vector<int> dist;  // distance from center, per local index
 };
 
 /// Collects the ball and charges `radius` rounds to `center` on the ledger

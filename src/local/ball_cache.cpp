@@ -56,10 +56,10 @@ void extend_ball_core(const Graph& g, int from_radius, int to_radius,
   std::size_t head = old_size;
   while (head > 0 && ball.dist[head - 1] == from_radius) --head;
   for (; head < ball.vertices.size(); ++head) {
-    int u = ball.vertices[head];
+    int u = static_cast<int>(ball.vertices[head]);
     int du = ball.dist[head];
     if (du >= to_radius) continue;
-    for (int w : g.neighbors(u)) {
+    for (VertexId w : g.neighbors(u)) {
       if (ws.visit_stamp[w] == visit) continue;
       if (!active[w]) continue;
       ws.visit_stamp[w] = visit;
@@ -74,16 +74,19 @@ void extend_ball_core(const Graph& g, int from_radius, int to_radius,
   const int k = static_cast<int>(ball.vertices.size());
   ws.offsets.assign(static_cast<std::size_t>(k) + 1, 0);
   for (int i = 0; i < k; ++i) {
-    for (int w : g.neighbors(ball.vertices[i])) {
+    for (VertexId w : g.neighbors(static_cast<int>(ball.vertices[i]))) {
       if (ws.visit_stamp[w] == visit) ++ws.offsets[i + 1];
     }
   }
   for (int i = 0; i < k; ++i) ws.offsets[i + 1] += ws.offsets[i];
   ws.adj.resize(static_cast<std::size_t>(ws.offsets[k]));
   for (int i = 0; i < k; ++i) {
-    int cursor = ws.offsets[i];
-    for (int w : g.neighbors(ball.vertices[i])) {
-      if (ws.visit_stamp[w] == visit) ws.adj[cursor++] = ws.local_id[w];
+    EdgeIndex cursor = ws.offsets[i];
+    for (VertexId w : g.neighbors(static_cast<int>(ball.vertices[i]))) {
+      if (ws.visit_stamp[w] == visit) {
+        ws.adj[static_cast<std::size_t>(cursor++)] =
+            static_cast<VertexId>(ws.local_id[w]);
+      }
     }
     std::sort(ws.adj.begin() + ws.offsets[i], ws.adj.begin() + cursor);
   }
@@ -299,7 +302,9 @@ void BallCache::Shard::charge_collect(const Ball& ball, int radius,
   // Exactly the observable side effects of local::collect_ball, replayed
   // from the cached ball so hit and miss paths are indistinguishable in
   // ledgers and telemetry.
-  if (ledger != nullptr) ledger->charge(ball.vertices[0], radius);
+  if (ledger != nullptr) {
+    ledger->charge(static_cast<int>(ball.vertices[0]), radius);
+  }
   std::int64_t words = ball_words(ball);
   if (obs::Registry* reg = obs::current()) {
     reg->counter("ball.collections").add(1);

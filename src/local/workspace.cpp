@@ -40,10 +40,10 @@ void collect_ball_core(const Graph& g, int center, int radius,
   out.vertices.push_back(center);
   out.dist.push_back(0);
   for (std::size_t head = 0; head < out.vertices.size(); ++head) {
-    int u = out.vertices[head];
+    int u = static_cast<int>(out.vertices[head]);
     int du = out.dist[head];
     if (radius >= 0 && du >= radius) continue;
-    for (int w : g.neighbors(u)) {
+    for (VertexId w : g.neighbors(u)) {
       if (ws.visit_stamp[w] == visit) continue;
       if (active != nullptr && !(*active)[w]) continue;
       ws.visit_stamp[w] = visit;
@@ -53,20 +53,23 @@ void collect_ball_core(const Graph& g, int center, int radius,
     }
   }
   // Induced subgraph in ball-local ids. Neighbor lists sorted ascending by
-  // local id, matching Graph::induced_subgraph via GraphBuilder.
+  // local id, matching Graph::induced_subgraph.
   const int k = static_cast<int>(out.vertices.size());
   ws.offsets.assign(static_cast<std::size_t>(k) + 1, 0);
   for (int i = 0; i < k; ++i) {
-    for (int w : g.neighbors(out.vertices[i])) {
+    for (VertexId w : g.neighbors(static_cast<int>(out.vertices[i]))) {
       if (ws.visit_stamp[w] == visit) ++ws.offsets[i + 1];
     }
   }
   for (int i = 0; i < k; ++i) ws.offsets[i + 1] += ws.offsets[i];
   ws.adj.resize(static_cast<std::size_t>(ws.offsets[k]));
   for (int i = 0; i < k; ++i) {
-    int cursor = ws.offsets[i];
-    for (int w : g.neighbors(out.vertices[i])) {
-      if (ws.visit_stamp[w] == visit) ws.adj[cursor++] = ws.local_id[w];
+    EdgeIndex cursor = ws.offsets[i];
+    for (VertexId w : g.neighbors(static_cast<int>(out.vertices[i]))) {
+      if (ws.visit_stamp[w] == visit) {
+        ws.adj[static_cast<std::size_t>(cursor++)] =
+            static_cast<VertexId>(ws.local_id[w]);
+      }
     }
     std::sort(ws.adj.begin() + ws.offsets[i], ws.adj.begin() + cursor);
   }
@@ -108,29 +111,36 @@ void view_from_ball(const Ball& ball, int radius, BallWorkspace& ws,
   out.cliques.clear();
   out.forest_edges.clear();
   out.trusted_vertices.clear();
-  for (auto& clique : local_cliques) {
+  // Filter + globalize the nested words in place, sort the surviving
+  // prefix, then flatten into the reused CliqueFamily slabs.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < local_cliques.size(); ++i) {
+    auto& clique = local_cliques[i];
     bool trusted = false;
     for (int lv : clique) trusted = trusted || ball.dist[lv] <= radius - 1;
     if (!trusted) continue;
-    for (int& lv : clique) lv = ball.vertices[lv];
+    for (int& lv : clique) lv = static_cast<int>(ball.vertices[lv]);
     std::sort(clique.begin(), clique.end());
-    out.cliques.push_back(std::move(clique));
+    if (i != kept) local_cliques[kept] = std::move(clique);
+    ++kept;
   }
-  std::sort(out.cliques.begin(), out.cliques.end());
+  local_cliques.resize(kept);
+  std::sort(local_cliques.begin(), local_cliques.end());
+  for (const auto& clique : local_cliques) out.cliques.push_word(clique);
 
   // Flat phi index: (vertex, clique) pairs sorted by vertex then clique,
   // giving each family in increasing clique-index order.
   ws.phi_pairs.clear();
   for (std::size_t c = 0; c < out.cliques.size(); ++c) {
-    for (int v : out.cliques[c]) {
-      ws.phi_pairs.emplace_back(v, static_cast<int>(c));
+    for (VertexId v : out.cliques[c]) {
+      ws.phi_pairs.emplace_back(static_cast<int>(v), static_cast<int>(c));
     }
   }
   std::sort(ws.phi_pairs.begin(), ws.phi_pairs.end());
 
   for (std::size_t lv = 0; lv < ball.vertices.size(); ++lv) {
     if (ball.dist[lv] <= radius - 1) {
-      out.trusted_vertices.push_back(ball.vertices[lv]);
+      out.trusted_vertices.push_back(static_cast<int>(ball.vertices[lv]));
     }
   }
   std::sort(out.trusted_vertices.begin(), out.trusted_vertices.end());
@@ -147,7 +157,7 @@ void view_from_ball(const Ball& ball, int radius, BallWorkspace& ws,
     while (p < ws.phi_pairs.size() && ws.phi_pairs[p].first < u) ++p;
     ws.family.clear();
     while (p < ws.phi_pairs.size() && ws.phi_pairs[p].first == u) {
-      ws.family.push_back(ws.phi_pairs[p].second);
+      ws.family.push_back(static_cast<CliqueId>(ws.phi_pairs[p].second));
       ++p;
     }
     std::size_t before = edges_out.size();

@@ -64,14 +64,16 @@ class BallWorkspace {
   /// worker order after the join (see obs/trace.hpp).
   obs::TraceBuf* trace = nullptr;
 
-  // Internal state (used by the workspace.cpp implementations).
+  // Internal state (used by the workspace.cpp implementations). CSR
+  // assembly buffers use the compact id types so assign_csr is a straight
+  // slab copy with no widening pass.
   std::uint64_t epoch = 0;
   std::vector<std::uint64_t> visit_stamp;  // per vertex, ball epoch
   std::vector<int> local_id;               // ball-local index, if stamped
-  std::vector<int> offsets;                // CSR assembly, ball-sized
-  std::vector<int> adj;                    // CSR assembly, ball-sized
+  std::vector<EdgeIndex> offsets;          // CSR assembly, ball-sized
+  std::vector<VertexId> adj;               // CSR assembly, ball-sized
   std::vector<std::pair<int, int>> phi_pairs;  // (vertex, clique index)
-  std::vector<int> family;                     // phi(u) clique indices
+  std::vector<CliqueId> family;                // phi(u) clique indices
   ForestScratch forest;  // per-family MWSF engine scratch (Lemma 2)
   Ball ball;             // reused by local view
 };

@@ -1,0 +1,23 @@
+#include "obs/rss.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace chordal::obs {
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;  // kilobytes
+#else
+  return 0;
+#endif
+}
+
+}  // namespace chordal::obs

@@ -1,0 +1,15 @@
+// Peak resident-set-size probe for the scale benchmarks and the check.sh
+// memory gate. getrusage's ru_maxrss is a process-lifetime high-water mark
+// (monotone, never decreases), so before/after substrate comparisons must
+// run each configuration in its own process and merge the reports.
+#pragma once
+
+#include <cstdint>
+
+namespace chordal::obs {
+
+/// Peak resident set size of the current process in bytes, from
+/// getrusage(RUSAGE_SELF). Returns 0 if the probe is unavailable.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace chordal::obs

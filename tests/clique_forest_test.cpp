@@ -17,7 +17,7 @@ int clique_index(const CliqueForest& forest, std::vector<int> paper_clique) {
   for (int& v : paper_clique) --v;
   std::sort(paper_clique.begin(), paper_clique.end());
   for (int c = 0; c < forest.num_cliques(); ++c) {
-    if (forest.clique(c) == paper_clique) return c;
+    if (word_vec(forest.clique(c)) == paper_clique) return c;
   }
   ADD_FAILURE() << "clique not found";
   return -1;
@@ -136,7 +136,9 @@ TEST(LocalView, PaperFigure4Example) {
     std::sort(clique.begin(), clique.end());
   }
   std::sort(expected_cliques.begin(), expected_cliques.end());
-  EXPECT_EQ(view.cliques, expected_cliques);
+  CliqueFamily expected_family;
+  for (const auto& clique : expected_cliques) expected_family.push_word(clique);
+  EXPECT_EQ(view.cliques, expected_family);
   // The local forest must be the subtree of the global clique forest induced
   // by C': seven edges.
   EXPECT_EQ(view.forest_edges.size(), 7u);
@@ -155,14 +157,16 @@ TEST(LocalView, Lemma2ConsistencyWithGlobalForest) {
 
     std::map<std::vector<std::vector<int>>, char> global_edges;
     for (auto [a, b] : global.forest_edges()) {
-      std::vector<std::vector<int>> key = {global.clique(a), global.clique(b)};
+      std::vector<std::vector<int>> key = {word_vec(global.clique(a)),
+                                           word_vec(global.clique(b))};
       std::sort(key.begin(), key.end());
       global_edges[key] = 1;
     }
     for (int v = 0; v < g.num_vertices(); v += 7) {
       LocalView view = compute_local_view(g, v, 4);
       for (auto [a, b] : view.forest_edges) {
-        std::vector<std::vector<int>> key = {view.cliques[a], view.cliques[b]};
+        std::vector<std::vector<int>> key = {word_vec(view.cliques[a]),
+                                             word_vec(view.cliques[b])};
         std::sort(key.begin(), key.end());
         EXPECT_TRUE(global_edges.count(key))
             << "seed " << seed << " observer " << v;

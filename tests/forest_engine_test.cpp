@@ -49,7 +49,7 @@ std::vector<std::array<int, 3>> flat(const std::vector<WcigEdge>& edges) {
 /// family cliques fed to the reference Kruskal.
 LocalView reference_local_view(const Graph& g, int observer, int radius,
                                const std::vector<char>* active = nullptr) {
-  std::vector<int> ball =
+  std::vector<VertexId> ball =
       active == nullptr
           ? ball_vertices(g, observer, radius)
           : ball_vertices_restricted(g, observer, radius, *active);
@@ -58,6 +58,7 @@ LocalView reference_local_view(const Graph& g, int observer, int radius,
   std::vector<int> dist_in_ball = bfs_distances(ball_graph, 0);
   auto local_cliques = maximal_cliques_chordal(ball_graph);
   LocalView view;
+  std::vector<std::vector<int>> kept;
   for (auto& clique : local_cliques) {
     bool trusted = false;
     for (int lv : clique) trusted = trusted || dist_in_ball[lv] <= radius - 1;
@@ -66,12 +67,13 @@ LocalView reference_local_view(const Graph& g, int observer, int radius,
     global.reserve(clique.size());
     for (int lv : clique) global.push_back(original[lv]);
     std::sort(global.begin(), global.end());
-    view.cliques.push_back(std::move(global));
+    kept.push_back(std::move(global));
   }
-  std::sort(view.cliques.begin(), view.cliques.end());
+  std::sort(kept.begin(), kept.end());
+  for (const auto& clique : kept) view.cliques.push_word(clique);
   std::vector<std::pair<int, int>> phi_pairs;
-  for (std::size_t c = 0; c < view.cliques.size(); ++c) {
-    for (int v : view.cliques[c]) phi_pairs.emplace_back(v, static_cast<int>(c));
+  for (std::size_t c = 0; c < kept.size(); ++c) {
+    for (int v : kept[c]) phi_pairs.emplace_back(v, static_cast<int>(c));
   }
   std::sort(phi_pairs.begin(), phi_pairs.end());
   for (int lv = 0; lv < ball_graph.num_vertices(); ++lv) {
@@ -93,7 +95,7 @@ LocalView reference_local_view(const Graph& g, int observer, int radius,
     if (family.size() < 2) continue;
     std::vector<std::vector<int>> family_cliques;
     family_cliques.reserve(family.size());
-    for (int c : family) family_cliques.push_back(view.cliques[c]);
+    for (int c : family) family_cliques.push_back(kept[c]);
     for (const auto& e : max_weight_spanning_forest_reference(
              family_cliques, g.num_vertices())) {
       int a = family[e.a];
@@ -206,7 +208,8 @@ TEST(ForestEngine, WcigCountingMatchesReference) {
   for (const auto& [name, g] : engine_workloads()) {
     auto cliques = maximal_cliques_chordal(g);
     auto reference = wcig_edges(cliques, g.num_vertices());
-    wcig_edges_counting(cliques, g.num_vertices(), scratch, fast);
+    wcig_edges_counting(CliqueFamily(cliques), g.num_vertices(), scratch,
+                        fast);
     EXPECT_EQ(flat(reference), flat(fast)) << name;
   }
 }
@@ -219,7 +222,8 @@ TEST(ForestEngine, MwsfMatchesReferenceOnCanonicalFamilies) {
     ASSERT_TRUE(cliques_lex_sorted(cliques)) << name;
     auto reference =
         max_weight_spanning_forest_reference(cliques, g.num_vertices());
-    max_weight_spanning_forest(cliques, g.num_vertices(), scratch, fast);
+    max_weight_spanning_forest(CliqueFamily(cliques), g.num_vertices(),
+                               scratch, fast);
     EXPECT_EQ(flat(reference), flat(fast)) << name;
   }
 }
@@ -236,7 +240,8 @@ TEST(ForestEngine, MwsfMatchesReferenceOnShuffledFamilies) {
     std::shuffle(cliques.begin(), cliques.end(), rng);
     auto reference =
         max_weight_spanning_forest_reference(cliques, g.num_vertices());
-    max_weight_spanning_forest(cliques, g.num_vertices(), scratch, fast);
+    max_weight_spanning_forest(CliqueFamily(cliques), g.num_vertices(),
+                               scratch, fast);
     EXPECT_EQ(flat(reference), flat(fast)) << name;
   }
 }
@@ -250,7 +255,7 @@ TEST(ForestEngine, FamilyEngineMatchesPerFamilyReference) {
       const auto& family = forest.cliques_of(v);
       if (family.size() < 2) continue;
       std::vector<std::vector<int>> family_cliques;
-      for (int c : family) family_cliques.push_back(forest.clique(c));
+      for (int c : family) family_cliques.push_back(word_vec(forest.clique(c)));
       std::vector<std::pair<int, int>> reference;
       for (const auto& e : max_weight_spanning_forest_reference(
                family_cliques, g.num_vertices())) {

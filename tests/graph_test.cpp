@@ -59,7 +59,7 @@ TEST(Graph, ReadGraphRejectsHostileHeadersWithLineContext) {
       {"", "line 1"},
       {"x", "expected vertex count"},
       {"-3 1\n0 1\n", "negative vertex count"},
-      {"2147483648 0\n", "overflows int"},
+      {"2147483648 0\n", "overflows the"},
       {"2 -1\n", "negative edge count"},
       {"3 99\n", "exceeds n*(n-1)/2"},
       {"3 1\n", "truncated edge list"},
@@ -135,7 +135,7 @@ TEST(Bfs, BallCollectsClosedNeighborhoodByRadius) {
   // Paper node 10 = vertex 9; Figure 3's Gamma^2[10] in 0-indexed terms.
   auto ball = ball_vertices(g, 9, 2);
   std::sort(ball.begin(), ball.end());
-  EXPECT_EQ(ball, (std::vector<int>{1, 3, 7, 8, 9, 10, 11, 12}));
+  EXPECT_EQ(ball, (std::vector<VertexId>{1, 3, 7, 8, 9, 10, 11, 12}));
 }
 
 TEST(Components, CountsAndGroups) {

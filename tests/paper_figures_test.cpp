@@ -40,7 +40,7 @@ TEST(PaperFigures, Lemma3PathRemovalFigure5And6) {
   for (int v = 0; v < g.num_vertices(); ++v) {
     bool inside = true;
     for (int c : forest.cliques_of(v)) {
-      inside = inside && in_path.count(forest.clique(c)) > 0;
+      inside = inside && in_path.count(word_vec(forest.clique(c))) > 0;
     }
     if (inside) u_actual.insert(v);
   }
@@ -58,8 +58,8 @@ TEST(PaperFigures, Lemma3PathRemovalFigure5And6) {
 
   std::set<std::vector<int>> expected_cliques;
   for (int c = 0; c < forest.num_cliques(); ++c) {
-    if (!in_path.count(forest.clique(c))) {
-      expected_cliques.insert(forest.clique(c));
+    if (!in_path.count(word_vec(forest.clique(c)))) {
+      expected_cliques.insert(word_vec(forest.clique(c)));
     }
   }
   std::set<std::vector<int>> actual_cliques;
@@ -75,11 +75,13 @@ TEST(PaperFigures, Lemma3PathRemovalFigure5And6) {
   // (uniqueness of the tie-broken MWSF makes this exact, Lemma 1).
   std::set<std::pair<std::vector<int>, std::vector<int>>> expected_edges;
   for (auto [a, b] : forest.forest_edges()) {
-    if (in_path.count(forest.clique(a)) || in_path.count(forest.clique(b))) {
+    if (in_path.count(word_vec(forest.clique(a))) ||
+        in_path.count(word_vec(forest.clique(b)))) {
       continue;
     }
-    auto key = std::minmax(forest.clique(a), forest.clique(b));
-    expected_edges.insert(key);
+    std::vector<int> ga = word_vec(forest.clique(a));
+    std::vector<int> gb = word_vec(forest.clique(b));
+    expected_edges.insert(std::minmax(ga, gb));
   }
   std::set<std::pair<std::vector<int>, std::vector<int>>> actual_edges;
   for (auto [a, b] : smaller.forest_edges()) {
@@ -104,7 +106,7 @@ TEST(PaperFigures, PathDecompositionFindsC6C10AsInternal) {
   for (const auto& path : maximal_binary_paths(forest, active)) {
     if (path.pendant) continue;
     std::set<std::vector<int>> cliques;
-    for (int c : path.cliques) cliques.insert(forest.clique(c));
+    for (int c : path.cliques) cliques.insert(word_vec(forest.clique(c)));
     if (cliques.count(paper_clique({8, 9, 10})) &&
         cliques.count(paper_clique({14, 15, 16}))) {
       found = true;

@@ -52,6 +52,13 @@ std::string check_stream(const audit::StreamCase& sc) {
     return "malformed stream accepted";
   }
   if (parsed_ok) {
+    // Whatever parsed must be a well-formed CSR slab before anything else
+    // consumes it.
+    try {
+      audit::audit_graph_csr(parsed);
+    } catch (const std::exception& e) {
+      return std::string("parsed graph fails CSR audit: ") + e.what();
+    }
     // Canonical fixpoint: serialize -> reparse must reproduce the graph.
     Graph reparsed = graph_from_string(graph_to_string(parsed));
     if (!graphs_equal(parsed, reparsed)) {
