@@ -56,6 +56,21 @@ out="$out_dir/BENCH_SCALE$suffix.json"
 echo "== bench_scale -> $(basename "$out")"
 "$build/bench/bench_scale" --full --json "$out" >/dev/null
 
+# E17 dynamic churn matrix (incremental repair vs full rebuild, families
+# interval/k-tree at n=10^4..10^6). Emits dyn.*.speedup gauges with
+# dyn.*.speedup_floor siblings that bench_gate.py enforces as a hard floor.
+# CHORDAL_DYNAMIC_SMOKE=1 restricts the matrix to the n=10^4 cells — the
+# k-tree n=10^6 cell alone takes ~14 minutes (adopt + churn + one full
+# rebuild), so check.sh's gate step uses the smoke matrix while the
+# committed baseline is produced from a full run.
+if [[ "${CHORDAL_DYNAMIC_SMOKE:-0}" == 1 ]]; then
+  out="$out_dir/BENCH_DYNAMIC$suffix.json"
+  echo "== bench_dynamic (smoke) -> $(basename "$out")"
+  "$build/bench/bench_dynamic" --smoke --json "$out" >/dev/null
+else
+  run_table_bench bench_dynamic DYNAMIC
+fi
+
 out="$out_dir/BENCH_MICRO$suffix.json"
 echo "== bench_micro -> $(basename "$out")"
 "$build/bench/bench_micro" --benchmark_format=console \

@@ -181,14 +181,24 @@ def main():
         for name in sorted(times_a):
             print(f"(removed, only in A) {name}", file=sys.stderr)
         return 1
+    def fmt_ms(value):
+        # Sub-millisecond spans (dynamic-update repairs sit in the tens of
+        # microseconds) print in microseconds so the delta column carries
+        # signal instead of rounding to 0.000.
+        if abs(value) < 1.0:
+            return f"{value * 1000.0:.1f}us"
+        return f"{value:.3f}"
+
     width = max(len(name) for name in shared)
-    print(f"{'bench':<{width}}  {'A ms':>12}  {'B ms':>12}  {'delta':>9}  ratio")
+    print(f"{'bench':<{width}}  {'A ms':>12}  {'B ms':>12}  {'delta':>10}  ratio")
     for name in shared:
         ta, tb = times_a[name], times_b[name]
         ratio = tb / ta if ta > 0 else float("inf")
+        delta = tb - ta
+        delta_str = ("-" if delta < 0 else "+") + fmt_ms(abs(delta))
         print(
-            f"{name:<{width}}  {ta:>12.3f}  {tb:>12.3f}  "
-            f"{tb - ta:>+9.3f}  {ratio:.3f}x"
+            f"{name:<{width}}  {fmt_ms(ta):>12}  {fmt_ms(tb):>12}  "
+            f"{delta_str:>10}  {ratio:.3f}x"
         )
     for name in sorted(set(times_b) - set(times_a)):
         print(f"(added, only in B)   {name}")

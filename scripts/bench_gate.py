@@ -14,6 +14,12 @@ run) and fails when any tracked metric regresses beyond its tolerance:
                allocation accounting — deterministic for a fixed thread
                count); --alloc-tolerance percent, default 25
 
+Two absolute (hard, tolerance-free) contracts are also enforced on the
+fresh side: *.peak_rss_mb gauges must stay under their sibling
+*.rss_budget_mb budgets (bench_scale), and *.speedup gauges must stay at
+or above their sibling *.speedup_floor floors (bench_dynamic's
+incremental-vs-full-rebuild ratio).
+
 Benches, spans, or counters present on only one side are reported as
 added/removed but do not fail the gate (layouts evolve; timings regress).
 Improvements never fail. Telemetry schema 1 (no marker) and 2 are both
@@ -105,6 +111,27 @@ def check_rss_budgets(name, doc, failures):
             )
 
 
+def check_speedup_floors(name, doc, failures):
+    """Absolute incremental-vs-rebuild floors: a *.speedup gauge whose
+    sibling *.speedup_floor gauge exists must stay at or above it
+    (bench_dynamic emits the pair per churn cell). Like the RSS budgets
+    this is a hard contract, not a noise tolerance: incremental repair
+    that degenerates toward full-rebuild cost is a correctness-of-design
+    failure even if it is "only" a slowdown."""
+    gauges = doc.get("telemetry", {}).get("gauges", {})
+    for key, value in sorted(gauges.items()):
+        if not key.endswith(".speedup"):
+            continue
+        floor = gauges.get(key + "_floor")
+        if floor is None:
+            continue
+        if float(value) < float(floor):
+            failures.append(
+                f"{name}: speedup floor violated: {key}: "
+                f"{float(value):.1f}x < floor {float(floor):.1f}x"
+            )
+
+
 def compare(name, kind, base, fresh, tol_pct, min_abs, failures, notes):
     """Flags fresh[k] > base[k] * (1 + tol) for every shared key."""
     for key in sorted(set(base) | set(fresh)):
@@ -180,6 +207,7 @@ def main():
         compare(name, "peak-rss", rss_gauges(base), rss_gauges(fresh),
                 args.rss_tolerance, args.min_rss_mb, failures, notes)
         check_rss_budgets(name, fresh, failures)
+        check_speedup_floors(name, fresh, failures)
 
     for line in notes:
         print(f"  note: {line}")

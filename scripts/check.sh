@@ -112,12 +112,24 @@ echo "== Scale smoke (n=10^5 streaming substrate under the RSS ceiling) =="
   >/dev/null
 
 echo
+echo "== Dynamic churn smoke (certified updates, colors == omega) =="
+# Replays the E17 churn mix at n=10^4 on both graph families through
+# DynamicChordal: every applied update repairs the clique forest and the
+# labels incrementally, and the binary fails unless the coloring is still
+# at omega afterwards. (The 500-schedule differential audit runs under
+# ASan in the fuzz stage above; this is the fast release-mode pass.)
+"$repo/build-release/bench/bench_dynamic" --smoke >/dev/null
+
+echo
 echo "== Bench regression gate (fresh run vs committed baselines) =="
 # Regenerates the canonical (unsuffixed) bench set into the smoke dir and
 # compares it against the committed BENCH_*.json; suffixed A/B variants
 # (CACHED/UNCACHED/BEFORE/AFTER/...) are skipped automatically.
+# CHORDAL_DYNAMIC_SMOKE keeps the E17 matrix at its n=10^4 cells here (the
+# full matrix is a quarter-hour; its floors are still hard-checked on the
+# fresh smoke cells, and the committed baseline comes from a full run).
 OUT_DIR="$smoke_dir" BUILD_DIR="$repo/build-release" \
-  "$repo/scripts/bench_all.sh" >/dev/null
+  CHORDAL_DYNAMIC_SMOKE=1 "$repo/scripts/bench_all.sh" >/dev/null
 python3 "$repo/scripts/bench_gate.py" --fresh-dir "$smoke_dir"
 
 echo

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cliqueforest/forest.hpp"
+#include "core/dynamic.hpp"
 #include "core/mis.hpp"
 #include "core/mvc.hpp"
 #include "graph/graph.hpp"
@@ -125,5 +126,41 @@ DriverAuditResult run_driver_audit(const Graph& g,
 /// asserted identical. Returns the number of configurations run.
 int run_driver_audit_matrix(const Graph& g, double eps_color, double eps_mis,
                             bool check_per_node_pruning);
+
+// ---------------------------------------------------------------------------
+// Dynamic update-schedule harness
+// ---------------------------------------------------------------------------
+
+/// Incremental-vs-recompute parity for the dynamic layer: the repaired
+/// signature (colors, MIS, clique family, forest edges, all in slot ids)
+/// must be bit-identical to a full recomputation on the alive-induced
+/// graph. Throws AuditFailure naming the diverging component.
+void audit_dynamic_parity(const DynamicChordal& dc);
+
+struct UpdateScheduleStats {
+  int steps = 0;     // update attempts drawn
+  int applied = 0;   // mutations that went through
+  int rejected = 0;  // certified violations (witness cycle validated)
+  int skipped = 0;   // rolls with no applicable move (empty graph etc.)
+};
+
+/// Replays one seeded update schedule on `base` under the given execution
+/// config: random edge/vertex inserts and deletes (the certifier decides
+/// validity; every rejection's witness is checked to be a genuine chordless
+/// cycle of the would-be graph) plus injected guaranteed-violating updates
+/// that MUST be rejected. audit_dynamic_parity runs after every step. When
+/// config.cache is set, a BallCache rides along: periodically rebound to a
+/// fresh materialize() snapshot, reconciled through invalidate_touched /
+/// reactivate / deactivate from the facade's dirty region, and probed
+/// against fresh ball collection. The final signature lands in *final.
+UpdateScheduleStats run_update_schedule_audit(
+    const Graph& base, std::uint64_t seed, int steps,
+    const DriverAuditConfig& config, DynamicChordal::Signature* final_sig);
+
+/// The schedule under the full execution matrix (threads {1, 8} x cache
+/// {on, off} x engine {fast, ref}), asserting every config lands on the
+/// identical final signature. Returns the number of configurations run.
+int run_update_schedule_matrix(const Graph& base, std::uint64_t seed,
+                               int steps);
 
 }  // namespace chordal::audit

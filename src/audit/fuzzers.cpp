@@ -64,10 +64,12 @@ Graph small_component(Rng& rng, int max_n) {
       c.seed = rng.next();
       return random_chordal(c);
     }
-    case 1:
-      return random_k_tree(std::max(n, 3),
-                           1 + static_cast<int>(rng.next_below(3)),
-                           rng.next());
+    case 1: {
+      // Clamp n to k+1, not a constant: (n=3, k=3) used to slip through and
+      // trip random_k_tree's precondition on rare seeds.
+      int k = 1 + static_cast<int>(rng.next_below(3));
+      return random_k_tree(std::max(n, k + 1), k, rng.next());
+    }
     case 2:
       return path_graph(n);
     case 3:
@@ -389,7 +391,60 @@ Corpus build_corpus(const CorpusConfig& config) {
   for (int i = 0; i < config.num_streams; ++i) {
     corpus.streams.push_back(corrupt_stream(splitmix64(state)));
   }
+
+  corpus.schedules = build_update_schedules(splitmix64(state),
+                                            config.num_schedules);
   return corpus;
+}
+
+std::vector<ScheduleCase> build_update_schedules(std::uint64_t seed,
+                                                 int count) {
+  std::vector<ScheduleCase> schedules;
+  schedules.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  std::uint64_t state = seed ^ 0x7363686564756c65ULL;  // "schedule"
+  for (int i = 0; i < count; ++i) {
+    std::uint64_t case_seed = splitmix64(state);
+    Rng rng(case_seed);
+    ScheduleCase sc;
+    sc.seed = case_seed;
+    sc.name = "schedule#" + std::to_string(case_seed);
+    // Small bases: the audit recomputes every derived structure after every
+    // step across the whole execution matrix, so per-case cost must stay
+    // bounded. Shapes rotate through the generator families plus the empty
+    // and near-empty degenerate corners.
+    switch (rng.next_below(5)) {
+      case 0: {
+        RandomChordalConfig c;
+        c.n = 8 + static_cast<int>(rng.next_below(40));
+        c.max_clique = 2 + static_cast<int>(rng.next_below(5));
+        c.chain_bias = rng.uniform01();
+        c.seed = rng.next();
+        sc.base = random_chordal(c);
+        break;
+      }
+      case 1:
+        sc.base = random_k_tree(6 + static_cast<int>(rng.next_below(36)),
+                                1 + static_cast<int>(rng.next_below(3)),
+                                rng.next());
+        break;
+      case 2:
+        sc.base = random_unit_interval(6 + static_cast<int>(rng.next_below(36)),
+                                       6.0 + rng.uniform01() * 14.0,
+                                       rng.next())
+                      .graph;
+        break;
+      case 3:
+        sc.base = degenerate_graph(static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(num_degenerate_graphs()))));
+        break;
+      default:
+        sc.base = disconnected_union(rng.next());
+        break;
+    }
+    sc.steps = 10 + static_cast<int>(rng.next_below(15));
+    schedules.push_back(std::move(sc));
+  }
+  return schedules;
 }
 
 }  // namespace chordal::audit

@@ -66,6 +66,29 @@ Graph tie_storm(std::uint64_t seed);
 Graph near_chordal(std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
+// Dynamic update schedules
+// ---------------------------------------------------------------------------
+
+/// One seeded update schedule for the dynamic layer: a small chordal base
+/// plus a step budget. The ops themselves are drawn inside
+/// run_update_schedule_audit from the schedule's seed (they depend on the
+/// evolving graph state, so they cannot be materialized up front), making
+/// the whole schedule a pure function of (base, seed, steps) - replayable
+/// across every execution config.
+struct ScheduleCase {
+  std::string name;
+  std::uint64_t seed = 0;
+  Graph base;
+  int steps = 0;
+};
+
+/// Deterministic batch of update-schedule cases over small mixed chordal
+/// bases (incremental chordal, clique trees, k-trees, interval chains, and
+/// the degenerate catalogue's empty/tiny shapes).
+std::vector<ScheduleCase> build_update_schedules(std::uint64_t seed,
+                                                 int count);
+
+// ---------------------------------------------------------------------------
 // Corrupted byte streams for read_graph
 // ---------------------------------------------------------------------------
 
@@ -97,6 +120,7 @@ StreamCase corrupt_stream(std::uint64_t seed);
 struct Corpus {
   std::vector<GraphCase> graphs;
   std::vector<StreamCase> streams;
+  std::vector<ScheduleCase> schedules;
 };
 
 struct CorpusConfig {
@@ -105,6 +129,7 @@ struct CorpusConfig {
   /// always fully included on top).
   int per_graph_family = 25;
   int num_streams = 400;
+  int num_schedules = 500;
 };
 
 /// Deterministic corpus: every case's name embeds its family and seed for

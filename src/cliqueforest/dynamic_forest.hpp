@@ -1,0 +1,226 @@
+// Incrementally maintained clique family + clique forest of a dynamic
+// chordal graph.
+//
+// The static CliqueForest packs the canonical family and the unique MWSF
+// into CSR slabs - unbeatable for batch queries, uneditable under churn.
+// This class keeps the same mathematical objects in slot form: one sorted
+// word per clique slot (stable id, free-listed), a per-vertex membership
+// list phi, and the forest as small adjacency vectors with cached
+// intersection weights. Updates arrive as *certified* mutations (the caller
+// has already proved the graph stays chordal) and are applied as a
+// remove/add delta on the family followed by a local repair of the forest:
+//
+//   family delta (all O(|phi(touched)| * omega)):
+//     insert uv:  the one new maximal clique is C = {u,v} + (N(u) cut N(v));
+//                 the cliques that die are exactly the old maximal cliques
+//                 contained in C (each contains u or v, so phi finds them).
+//     delete uv:  the unique clique K containing uv dies; K-u and K-v are
+//                 reinstated iff no surviving clique contains them.
+//     insert z/X: the new cliques are {z}+M for the maximal cliques M of
+//                 G[X]; old cliques die iff they are one of those M.
+//     delete z:   every K in phi(z) dies; K-z is reinstated iff maximal.
+//
+//   forest repair: removed cliques take their forest edges with them; the
+//   unique MWSF of the new weighted clique intersection graph is then a
+//   subset of (surviving forest edges) + (candidate pool), where the pool is
+//   every W-edge between two cliques sharing a vertex with a removed clique
+//   plus every W-edge incident to an added clique. (Cycle rule: a W-edge
+//   outside the old forest was rejected against a forest path; if that path
+//   survives it is still rejected, and if it died it passed through a
+//   removed clique K, which by the clique-tree separator property contains
+//   the edge's intersection - putting the edge in the pool.)
+//
+//   The pool is consumed in two phases. Removal phase: a survivor-survivor
+//   candidate can only enter the MWSF when its old rejection path died, i.e.
+//   when its endpoints sit in different fragments of (old forest - killed
+//   cliques) - so the repair labels those fragments first (a walk from each
+//   alive former neighbor of a killed clique, restricted to cliques meeting
+//   a killed word; by the induced-subtree property that region covers every
+//   candidate endpoint) and runs canonical-order Kruskal over the CROSSING
+//   pairs only, with a DSU over fragment labels in place of per-candidate
+//   path searches. When the killed set is connected (always, for edge and
+//   vertex deletion) distinct labels provably mean distinct fragments and
+//   the selected edges are added with no search at all; the rare ambiguous
+//   labels (disconnected killed sets from insertions, under-explored
+//   regions) fall back to a real path search before any edge is added, so
+//   the forest can never acquire a cycle. Added phase: each W-edge incident
+//   to a new clique is folded in with the classic online-MST swap - find the
+//   tree path between its endpoints, evict the path edge that Kruskal would
+//   have processed last (paper order: weight, then lex word pair) if the
+//   candidate beats it. The path search itself walks the restricted region
+//   first (path cliques all contain the endpoints' intersection, again by
+//   the induced-subtree property) and falls back to an unrestricted
+//   bidirectional search that settles genuine cross-fragment joins at the
+//   cost of the smaller side. Every intermediate forest is the exact unique
+//   MWSF of the edges seen so far, so the result is bit-identical (as a set
+//   of word pairs) to a from-scratch build - which is precisely what the
+//   audit matrix checks after every fuzzed update.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cliqueforest/family.hpp"
+#include "cliqueforest/wcig.hpp"
+#include "graph/ids.hpp"
+
+namespace chordal {
+
+/// Locality accounting for one certified update.
+struct ForestRepairStats {
+  int cliques_removed = 0;
+  int cliques_added = 0;
+  int pool_edges = 0;  // candidate W-edges considered by the repair
+  int path_steps = 0;  // forest-BFS nodes popped while locating swap paths
+  int edge_swaps = 0;  // surviving forest edges evicted by better candidates
+};
+
+class DynamicCliqueForest {
+ public:
+  struct ForestNeighbor {
+    std::int32_t clique;
+    std::int32_t weight;  // |word(a) cut word(b)|, cached
+  };
+
+  DynamicCliqueForest() = default;
+
+  /// Adopts the canonical family and MWSF edges of the initial graph
+  /// (exactly what maximal_cliques_chordal_family +
+  /// max_weight_spanning_forest produce). `vertex_slots` sizes phi.
+  void init(const CliqueFamily& family, std::span<const WcigEdge> forest,
+            int vertex_slots);
+
+  int num_cliques() const { return alive_cliques_; }
+  int num_clique_slots() const { return static_cast<int>(words_.size()); }
+  bool clique_alive(int c) const {
+    return c >= 0 && c < num_clique_slots() &&
+           cl_alive_[static_cast<std::size_t>(c)];
+  }
+  CliqueWord word(int c) const { return words_[static_cast<std::size_t>(c)]; }
+  /// Sorted clique-slot ids containing vertex slot v.
+  std::span<const std::int32_t> cliques_of(int v) const {
+    return phi_[static_cast<std::size_t>(v)];
+  }
+  std::span<const ForestNeighbor> forest_neighbors(int c) const {
+    return forest_[static_cast<std::size_t>(c)];
+  }
+
+  /// omega(G): size of the largest alive word. O(#slots) scan (bench/cold).
+  int max_clique_size() const;
+
+  /// Grows phi to cover vertex slots [0, n).
+  void ensure_vertex_slots(int n);
+
+  /// Alive cliques containing both endpoints of edge uv, capped at 2; the
+  /// slots land in out[0..count). count == 1 certifies uv deletable.
+  int cliques_containing_edge(int u, int v, std::int32_t out[2]) const;
+
+  // Certified-update appliers (the caller guarantees the *graph* mutation
+  // keeps it chordal; `common` is the sorted N(u) cut N(v) before insertion,
+  // `gx_cliques` the maximal cliques of G[X] as sorted words, one empty
+  // outer list meaning X = {}).
+  ForestRepairStats apply_edge_insert(int u, int v,
+                                      std::span<const int> common);
+  ForestRepairStats apply_edge_delete(int u, int v);
+  ForestRepairStats apply_vertex_insert(
+      int z, std::span<const std::vector<int>> gx_cliques);
+  ForestRepairStats apply_vertex_delete(int z);
+
+  /// Canonical (lex-sorted) family of the alive words - the object the
+  /// static pipeline would compute. Cold path: audits, snapshots.
+  CliqueFamily canonical_family() const;
+  /// Forest edges as sorted (smaller word, larger word) pairs - the
+  /// numbering-independent identity of the MWSF.
+  std::vector<std::pair<std::vector<int>, std::vector<int>>>
+  canonical_forest_edges() const;
+
+  std::size_t memory_bytes() const;
+
+ private:
+  int new_clique(std::vector<VertexId> word);
+  void kill_clique(int c);
+  void add_forest_edge(int a, int b, int weight);
+  void remove_forest_edge(int a, int b);
+  bool has_forest_edge(int a, int b) const;
+  int intersection_weight(int a, int b) const;
+  /// Paper order on W-edges, by slot pair: weight, then lex word pair.
+  bool edge_order_less(int a1, int b1, int w1, int a2, int b2, int w2) const;
+  /// Online-MST insertion of candidate (a, b): restricted path search, then
+  /// unrestricted bidirectional fallback; joins trees or applies the swap
+  /// rule. Returns true when the endpoints were already connected.
+  bool insert_candidate(int a, int b, ForestRepairStats& stats);
+  /// One worst-edge-on-path BFS from added clique `c` (restricted to
+  /// cliques meeting word(c)); returns the stamp epoch of the flood so row
+  /// folds can answer path queries in O(1) until the forest changes.
+  std::uint64_t flood_worst_paths(int c, ForestRepairStats& stats);
+  void repair(ForestRepairStats& stats);
+  void begin_batch();
+  void ensure_clique_scratch();
+  int find_label(int id);
+  int fresh_label(int cluster, bool safe);
+  void union_labels(int ra, int rb);
+
+  std::vector<std::vector<VertexId>> words_;  // sorted; empty when dead
+  std::vector<char> cl_alive_;
+  std::vector<std::int32_t> free_cliques_;
+  std::vector<std::vector<std::int32_t>> phi_;  // per vertex slot, sorted
+  std::vector<std::vector<ForestNeighbor>> forest_;
+  int alive_cliques_ = 0;
+
+  // Repair scratch (epoch-stamped over clique slots; no per-update clears).
+  std::uint64_t cepoch_ = 0;
+  std::vector<std::uint64_t> cstamp_;
+  std::vector<std::int32_t> cparent_;
+  std::vector<std::int32_t> cparent_w_;
+  std::vector<std::int32_t> cqueue_;
+  // Bidirectional fallback: the b-rooted side of the search.
+  std::vector<std::int32_t> bparent_;
+  std::vector<std::int32_t> bparent_w_;
+  std::vector<std::int32_t> bqueue_;
+  std::vector<VertexId> ivec_;  // word(a) cut word(b) scratch
+  std::vector<std::pair<std::int32_t, std::int32_t>> pool_;
+  std::vector<std::vector<VertexId>> removed_words_;
+  std::vector<std::int32_t> added_slots_;
+
+  // Batch capture: killed slots, their forest neighbors at kill time, and a
+  // per-batch membership stamp (slot ids can be reused by new_clique within
+  // the same batch; the stamp still identifies "was killed this batch").
+  std::vector<std::int32_t> kill_log_;
+  std::vector<std::vector<std::int32_t>> kill_nbrs_;
+  std::uint64_t kepoch_ = 0;
+  std::vector<std::uint64_t> kstamp_;
+  std::vector<std::int32_t> kidx_;  // slot -> kill_log_ index (under kstamp_)
+  std::vector<std::int32_t> kdsu_;  // clusters of the killed set
+
+  // Fragment labels for the removal-phase Kruskal (epoch-stamped per
+  // repair). label_[slot] indexes ldsu_; lcluster_ is the originating dead
+  // cluster (-1 isolated new clique, -2 mixed/untrusted), lsafe_ whether
+  // distinct roots provably mean distinct fragments.
+  std::uint64_t lepoch_ = 0;
+  std::vector<std::uint64_t> lstamp_;
+  std::vector<std::int32_t> label_;
+  std::vector<std::int32_t> ldsu_;
+  std::vector<std::int32_t> lcluster_;
+  std::vector<char> lsafe_;
+
+  // Vertex marks: the union of killed words (the candidate region).
+  std::uint64_t vepoch_ = 0;
+  std::vector<std::uint64_t> vstamp_;
+  std::vector<VertexId> vmarks_;
+
+  struct Cand {
+    std::int32_t w, a, b;
+  };
+  std::vector<Cand> cand_;
+  std::vector<std::int32_t> roots_;  // per-phi cached DSU roots
+  std::vector<std::int32_t> rows_;   // per-added-clique row targets
+  // Worst-edge-on-path DP written by flood_worst_paths (cepoch_-stamped).
+  std::vector<std::int32_t> pw_a_;
+  std::vector<std::int32_t> pw_b_;
+  std::vector<std::int32_t> pw_w_;
+};
+
+}  // namespace chordal

@@ -1,0 +1,122 @@
+#include "core/dynamic_labels.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace chordal {
+
+void DynamicLabels::ensure(int n) {
+  auto size = static_cast<std::size_t>(n);
+  if (color_.size() < size) {
+    color_.resize(size, -1);
+    mis_.resize(size, 0);
+    pending_.resize(size, 0);
+  }
+}
+
+void DynamicLabels::eval(const DynamicGraph& g, int v, int* color, bool* mis) {
+  int deg = g.degree(v);
+  if (mark_.size() < static_cast<std::size_t>(deg) + 1) {
+    mark_.resize(static_cast<std::size_t>(deg) + 1, 0);
+  }
+  ++mark_epoch_;
+  bool m = true;
+  for (VertexId uv : g.neighbors(v)) {  // sorted ascending
+    int u = static_cast<int>(uv);
+    if (u >= v) break;
+    int cu = color_[static_cast<std::size_t>(u)];
+    if (cu >= 0 && cu <= deg) mark_[static_cast<std::size_t>(cu)] = mark_epoch_;
+    if (mis_[static_cast<std::size_t>(u)]) m = false;
+  }
+  int c = 0;
+  while (c <= deg && mark_[static_cast<std::size_t>(c)] == mark_epoch_) ++c;
+  *color = c;
+  *mis = m;
+}
+
+void DynamicLabels::reset(const DynamicGraph& g) {
+  int n = g.num_slots();
+  color_.assign(static_cast<std::size_t>(n), -1);
+  mis_.assign(static_cast<std::size_t>(n), 0);
+  pending_.assign(static_cast<std::size_t>(n), 0);
+  mis_size_ = 0;
+  for (int v = 0; v < n; ++v) {
+    if (!g.alive(v)) continue;
+    int c;
+    bool m;
+    eval(g, v, &c, &m);
+    color_[static_cast<std::size_t>(v)] = c;
+    mis_[static_cast<std::size_t>(v)] = m ? 1 : 0;
+    if (m) ++mis_size_;
+  }
+}
+
+LabelRepairStats DynamicLabels::repair(const DynamicGraph& g,
+                                       std::span<const int> seeds) {
+  LabelRepairStats stats;
+  ensure(g.num_slots());
+  ++pending_epoch_;
+  heap_.clear();
+  auto push = [&](int v) {
+    auto vi = static_cast<std::size_t>(v);
+    if (pending_[vi] == pending_epoch_) return;
+    pending_[vi] = pending_epoch_;
+    heap_.push_back(v);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  };
+  for (int v : seeds) {
+    if (v >= 0 && v < g.num_slots()) push(v);
+  }
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    int v = heap_.back();
+    heap_.pop_back();
+    auto vi = static_cast<std::size_t>(v);
+    if (!g.alive(v)) {
+      // Cleared, not propagated: the caller seeds the former neighbors.
+      if (mis_[vi]) {
+        --mis_size_;
+        ++stats.mis_flips;
+      }
+      if (color_[vi] != -1) ++stats.color_changes;
+      color_[vi] = -1;
+      mis_[vi] = 0;
+      continue;
+    }
+    int c;
+    bool m;
+    eval(g, v, &c, &m);
+    ++stats.processed;
+    bool changed = false;
+    if (c != color_[vi]) {
+      color_[vi] = c;
+      ++stats.color_changes;
+      changed = true;
+    }
+    if ((m ? 1 : 0) != mis_[vi]) {
+      mis_[vi] = m ? 1 : 0;
+      mis_size_ += m ? 1 : -1;
+      ++stats.mis_flips;
+      changed = true;
+    }
+    if (changed) {
+      auto nbrs = g.neighbors(v);
+      auto it = std::upper_bound(nbrs.begin(), nbrs.end(),
+                                 static_cast<VertexId>(v));
+      for (; it != nbrs.end(); ++it) push(static_cast<int>(*it));
+    }
+  }
+  return stats;
+}
+
+int DynamicLabels::num_colors(const DynamicGraph& g) const {
+  int max_color = -1;
+  for (int v = 0; v < g.num_slots(); ++v) {
+    if (g.alive(v)) {
+      max_color = std::max(max_color, color_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return max_color + 1;
+}
+
+}  // namespace chordal

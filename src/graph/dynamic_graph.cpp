@@ -1,0 +1,323 @@
+#include "graph/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chordal {
+
+namespace {
+
+void insert_sorted(std::vector<VertexId>& row, VertexId v) {
+  row.insert(std::lower_bound(row.begin(), row.end(), v), v);
+}
+
+void erase_sorted(std::vector<VertexId>& row, VertexId v) {
+  auto it = std::lower_bound(row.begin(), row.end(), v);
+  assert(it != row.end() && *it == v);
+  row.erase(it);
+}
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(const Graph& g)
+    : adj_(static_cast<std::size_t>(g.num_vertices())),
+      alive_(static_cast<std::size_t>(g.num_vertices()), 1),
+      alive_count_(g.num_vertices()),
+      edge_count_(g.num_edges()) {
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.neighbors(v);
+    adj_[static_cast<std::size_t>(v)].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+void DynamicGraph::require_alive(int v, const char* what) const {
+  if (v < 0 || v >= num_slots() || !alive_[static_cast<std::size_t>(v)]) {
+    throw std::invalid_argument(std::string(what) + ": vertex " +
+                                std::to_string(v) + " is not an alive slot");
+  }
+}
+
+bool DynamicGraph::has_edge(int u, int v) const {
+  if (!alive(u) || !alive(v)) return false;
+  const auto& row = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(row.begin(), row.end(), static_cast<VertexId>(v));
+}
+
+void DynamicGraph::add_edge(int u, int v) {
+  require_alive(u, "add_edge");
+  require_alive(v, "add_edge");
+  if (u == v) {
+    throw std::invalid_argument("add_edge: self-loop at vertex " +
+                                std::to_string(u));
+  }
+  if (has_edge(u, v)) {
+    throw std::invalid_argument("add_edge: edge (" + std::to_string(u) + ", " +
+                                std::to_string(v) + ") already present");
+  }
+  insert_sorted(adj_[static_cast<std::size_t>(u)], static_cast<VertexId>(v));
+  insert_sorted(adj_[static_cast<std::size_t>(v)], static_cast<VertexId>(u));
+  ++edge_count_;
+}
+
+void DynamicGraph::remove_edge(int u, int v) {
+  require_alive(u, "remove_edge");
+  require_alive(v, "remove_edge");
+  if (!has_edge(u, v)) {
+    throw std::invalid_argument("remove_edge: edge (" + std::to_string(u) +
+                                ", " + std::to_string(v) + ") not present");
+  }
+  erase_sorted(adj_[static_cast<std::size_t>(u)], static_cast<VertexId>(v));
+  erase_sorted(adj_[static_cast<std::size_t>(v)], static_cast<VertexId>(u));
+  --edge_count_;
+}
+
+int DynamicGraph::add_vertex(std::span<const int> neighbors) {
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    require_alive(neighbors[i], "add_vertex");
+    for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+      if (neighbors[i] == neighbors[j]) {
+        throw std::invalid_argument("add_vertex: duplicate neighbor " +
+                                    std::to_string(neighbors[i]));
+      }
+    }
+  }
+  int z;
+  if (!free_slots_.empty()) {
+    std::pop_heap(free_slots_.begin(), free_slots_.end(), std::greater<>{});
+    z = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    z = num_slots();
+    adj_.emplace_back();
+    alive_.push_back(0);
+  }
+  alive_[static_cast<std::size_t>(z)] = 1;
+  ++alive_count_;
+  auto& row = adj_[static_cast<std::size_t>(z)];
+  row.assign(neighbors.begin(), neighbors.end());
+  std::sort(row.begin(), row.end());
+  for (int u : neighbors) {
+    insert_sorted(adj_[static_cast<std::size_t>(u)], static_cast<VertexId>(z));
+  }
+  edge_count_ += neighbors.size();
+  return z;
+}
+
+void DynamicGraph::remove_vertex(int v) {
+  require_alive(v, "remove_vertex");
+  auto& row = adj_[static_cast<std::size_t>(v)];
+  for (VertexId u : row) {
+    erase_sorted(adj_[static_cast<std::size_t>(u)], static_cast<VertexId>(v));
+  }
+  edge_count_ -= row.size();
+  row.clear();
+  row.shrink_to_fit();
+  alive_[static_cast<std::size_t>(v)] = 0;
+  --alive_count_;
+  free_slots_.push_back(v);
+  std::push_heap(free_slots_.begin(), free_slots_.end(), std::greater<>{});
+}
+
+std::vector<int> DynamicGraph::alive_vertices() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(alive_count_));
+  for (int v = 0; v < num_slots(); ++v) {
+    if (alive_[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+Graph DynamicGraph::materialize() const {
+  int n = num_slots();
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::size_t total = 0;
+  for (int v = 0; v < n; ++v) {
+    total += adj_[static_cast<std::size_t>(v)].size();
+    offsets[static_cast<std::size_t>(v) + 1] =
+        checked_edge_index(static_cast<long long>(total), "materialize");
+  }
+  std::vector<VertexId> adj;
+  adj.reserve(total);
+  for (int v = 0; v < n; ++v) {
+    const auto& row = adj_[static_cast<std::size_t>(v)];
+    adj.insert(adj.end(), row.begin(), row.end());
+  }
+  Graph g;
+  g.adopt_csr(n, std::move(offsets), std::move(adj));
+  return g;
+}
+
+std::size_t DynamicGraph::memory_bytes() const {
+  std::size_t bytes = alive_.capacity() * sizeof(char) +
+                      free_slots_.capacity() * sizeof(int) +
+                      adj_.capacity() * sizeof(std::vector<VertexId>);
+  for (const auto& row : adj_) bytes += row.capacity() * sizeof(VertexId);
+  return bytes;
+}
+
+namespace {
+
+/// Sorted common alive neighborhood N(u) cut N(v).
+std::vector<int> common_neighbors(const DynamicGraph& g, int u, int v) {
+  std::vector<int> out;
+  auto nu = g.neighbors(u);
+  auto nv = g.neighbors(v);
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nv[j] < nu[i]) {
+      ++j;
+    } else {
+      out.push_back(static_cast<int>(nu[i]));
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> certify_edge_insert(const DynamicGraph& g, int u, int v,
+                                     DynamicScratch& s) {
+  assert(g.alive(u) && g.alive(v) && u != v && !g.has_edge(u, v));
+  s.ensure(g.num_slots());
+  ++s.epoch;
+  for (int w : common_neighbors(g, u, v)) {
+    s.blocked[static_cast<std::size_t>(w)] = s.epoch;
+  }
+  // BFS from u in G - S; if v stays unreachable, S separates and the insert
+  // is chordal-safe.
+  s.queue.clear();
+  s.queue.push_back(u);
+  s.visit[static_cast<std::size_t>(u)] = s.epoch;
+  s.parent[static_cast<std::size_t>(u)] = -1;
+  for (std::size_t head = 0; head < s.queue.size(); ++head) {
+    int x = s.queue[head];
+    for (VertexId wv : g.neighbors(x)) {
+      int w = static_cast<int>(wv);
+      auto wi = static_cast<std::size_t>(w);
+      if (s.visit[wi] == s.epoch || s.blocked[wi] == s.epoch) continue;
+      s.visit[wi] = s.epoch;
+      s.parent[wi] = x;
+      if (w == v) {
+        // Shortest u-v path in G - S, cycle-ordered; closing through the new
+        // edge uv makes it a chordless cycle of G+uv (see header proof).
+        std::vector<int> cycle;
+        for (int p = v; p != -1; p = s.parent[static_cast<std::size_t>(p)]) {
+          cycle.push_back(p);
+        }
+        std::reverse(cycle.begin(), cycle.end());  // u ... v
+        assert(cycle.size() >= 4);
+        return cycle;
+      }
+      s.queue.push_back(w);
+    }
+  }
+  return {};
+}
+
+std::vector<int> certify_edge_delete(const DynamicGraph& g, int u, int v) {
+  assert(g.has_edge(u, v));
+  std::vector<int> s = common_neighbors(g, u, v);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    for (std::size_t j = i + 1; j < s.size(); ++j) {
+      if (!g.has_edge(s[i], s[j])) {
+        // u,a,v,b is a chordless 4-cycle of G-uv: ab is a non-edge and the
+        // only other chord candidate, uv, is the edge being deleted.
+        return {u, s[i], v, s[j]};
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<int> certify_vertex_insert(const DynamicGraph& g,
+                                       std::span<const int> neighbors,
+                                       DynamicScratch& s) {
+  if (neighbors.size() <= 1) return {};
+  s.ensure(g.num_slots());
+  ++s.epoch;
+  for (int x : neighbors) s.blocked[static_cast<std::size_t>(x)] = s.epoch;
+  // Flood each component D of G - X that touches X; its attachment
+  // N(D) cut X must be a clique.
+  for (int x : neighbors) {
+    for (VertexId seedv : g.neighbors(x)) {
+      int seed = static_cast<int>(seedv);
+      auto si = static_cast<std::size_t>(seed);
+      if (s.visit[si] == s.epoch || s.blocked[si] == s.epoch) continue;
+      s.queue.clear();
+      s.touched.clear();  // attachment: X vertices adjacent to this D
+      s.queue.push_back(seed);
+      s.visit[si] = s.epoch;
+      for (std::size_t head = 0; head < s.queue.size(); ++head) {
+        int d = s.queue[head];
+        for (VertexId wv : g.neighbors(d)) {
+          int w = static_cast<int>(wv);
+          auto wi = static_cast<std::size_t>(w);
+          if (s.blocked[wi] == s.epoch) {
+            if (s.visit[wi] != s.epoch) {
+              s.visit[wi] = s.epoch;  // mark attachment once
+              s.touched.push_back(w);
+            }
+            continue;
+          }
+          if (s.visit[wi] == s.epoch) continue;
+          s.visit[wi] = s.epoch;
+          s.queue.push_back(w);
+        }
+      }
+      for (std::size_t i = 0; i < s.touched.size(); ++i) {
+        for (std::size_t j = i + 1; j < s.touched.size(); ++j) {
+          int a = s.touched[i], b = s.touched[j];
+          if (g.has_edge(a, b)) continue;
+          // Witness: z, a, <shortest a-b path through D>, b. The path is
+          // induced (shortest in G[{a,b} union D]) and its interior avoids
+          // X = N(z), so closing through z yields a chordless cycle of G+z.
+          ++s.epoch;
+          s.queue.clear();
+          s.queue.push_back(a);
+          s.visit[static_cast<std::size_t>(a)] = s.epoch;
+          s.parent[static_cast<std::size_t>(a)] = -1;
+          std::vector<int> cycle;
+          for (std::size_t head = 0; head < s.queue.size() && cycle.empty();
+               ++head) {
+            int x2 = s.queue[head];
+            for (VertexId wv : g.neighbors(x2)) {
+              int w = static_cast<int>(wv);
+              auto wi = static_cast<std::size_t>(w);
+              if (s.visit[wi] == s.epoch) continue;
+              // Interior must stay inside D; only a and b touch X.
+              bool in_x =
+                  std::binary_search(neighbors.begin(), neighbors.end(), w);
+              if (in_x && w != b) continue;
+              s.visit[wi] = s.epoch;
+              s.parent[wi] = x2;
+              if (w == b) {
+                for (int p = b; p != -1;
+                     p = s.parent[static_cast<std::size_t>(p)]) {
+                  cycle.push_back(p);
+                }
+                std::reverse(cycle.begin(), cycle.end());  // a ... b
+                break;
+              }
+              // Stay within this component: seeds outside D are blocked by
+              // the in_x test (X) or unreachable (other components).
+              s.queue.push_back(w);
+            }
+          }
+          assert(cycle.size() >= 3);
+          cycle.insert(cycle.begin(), ChordalityViolation::kNewVertex);
+          return cycle;
+        }
+      }
+      // Unmark the attachment: an X vertex can be attached to several
+      // components and must land in each component's attachment list.
+      for (int w : s.touched) s.visit[static_cast<std::size_t>(w)] = 0;
+    }
+  }
+  return {};
+}
+
+}  // namespace chordal

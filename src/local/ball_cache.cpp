@@ -102,7 +102,8 @@ BallCache::BallCache(const Graph& g, bool enabled)
     : g_(&g),
       enabled_(enabled),
       active_(static_cast<std::size_t>(g.num_vertices()), 1),
-      deact_epoch_(static_cast<std::size_t>(g.num_vertices()), 0) {
+      deact_epoch_(static_cast<std::size_t>(g.num_vertices()), 0),
+      activity_gen_(static_cast<std::size_t>(g.num_vertices()), 0) {
   int workers = support::num_threads();
   shards_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
@@ -136,10 +137,77 @@ void BallCache::deactivate(std::span<const int> vertices) {
   }
   if (!enabled_) return;
   // Distance stamps may refer to an entry that just died; force re-stamping.
+  reset_dist_stamps();
+}
+
+void BallCache::reset_dist_stamps() {
   for (auto& shard : shards_) {
     shard->dists_for_ = -1;
     shard->dist_src_ = nullptr;
   }
+}
+
+void BallCache::invalidate_touched(std::span<const int> vertices) {
+  if (!enabled_) return;
+  ++epoch_;
+  for (int v : vertices) {
+    if (v < 0 || static_cast<std::size_t>(v) >= active_.size()) continue;
+    int killed = 0;
+    std::int64_t words_freed = 0;
+    for (auto& shard : shards_) {
+      killed += shard->invalidate_refs(v, &words_freed);
+    }
+    if (killed > 0) {
+      obs::trace_emit(nullptr, obs::TraceEventKind::kCacheInvalidate, v,
+                      static_cast<std::int32_t>(epoch_), killed, words_freed);
+    }
+  }
+  reset_dist_stamps();
+}
+
+void BallCache::reactivate(std::span<const int> vertices) {
+  ++epoch_;
+  for (int v : vertices) {
+    if (v < 0 || static_cast<std::size_t>(v) >= active_.size()) continue;
+    if (active_[v]) continue;
+    active_[v] = 1;
+    deact_epoch_[v] = 0;
+    ++activity_gen_[v];
+    if (!enabled_) continue;
+    // A cached ball is not indexed under v (v was inactive at build time),
+    // yet after reactivation a fresh BFS from its center could absorb v -
+    // exactly when the ball holds a neighbor of v at distance <= r-1. Kill
+    // every entry containing v (stale-incarnation refs) or any current
+    // neighbor of v; the rest are bit-valid as-is.
+    int killed = 0;
+    std::int64_t words_freed = 0;
+    for (auto& shard : shards_) {
+      killed += shard->invalidate_refs(v, &words_freed);
+    }
+    for (VertexId w : g_->neighbors(v)) {
+      for (auto& shard : shards_) {
+        killed += shard->invalidate_refs(static_cast<int>(w), &words_freed);
+      }
+    }
+    if (killed > 0) {
+      obs::trace_emit(nullptr, obs::TraceEventKind::kCacheInvalidate, v,
+                      static_cast<std::int32_t>(epoch_), killed, words_freed);
+    }
+  }
+  if (!enabled_) return;
+  reset_dist_stamps();
+}
+
+void BallCache::rebind(const Graph& g) {
+  g_ = &g;
+  auto n = static_cast<std::size_t>(g.num_vertices());
+  if (active_.size() < n) {
+    active_.resize(n, 1);
+    deact_epoch_.resize(n, 0);
+    activity_gen_.resize(n, 0);
+  }
+  for (auto& shard : shards_) shard->grow_tables(n);
+  reset_dist_stamps();
 }
 
 BallCache::Stats BallCache::stats() const {
@@ -216,6 +284,13 @@ int BallCache::Shard::invalidate_refs(int v, std::int64_t* words_freed) {
   }
   refs.clear();
   return killed;
+}
+
+void BallCache::Shard::grow_tables(std::size_t n) {
+  // Lazily-built tables stay empty until first use; built ones must cover
+  // the new slot range (new slots: no entry, no memberships).
+  if (!slot_of_.empty() && slot_of_.size() < n) slot_of_.resize(n, -1);
+  if (!member_of_.empty() && member_of_.size() < n) member_of_.resize(n);
 }
 
 void BallCache::Shard::rebuild(Entry& e, int center, int radius) {

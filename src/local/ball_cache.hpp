@@ -118,11 +118,44 @@ class BallCache {
   /// never call inside a parallel region.
   void deactivate(std::span<const int> vertices);
 
-  /// Deactivation batches applied so far (the per-vertex epoch clock).
+  /// Deactivation/invalidation batches applied so far (the per-vertex epoch
+  /// clock).
   std::uint64_t epoch() const { return epoch_; }
 
   /// Batch in which v was deactivated, or 0 while it is still active.
+  /// Reset to 0 when v is reactivated - the epoch alone cannot distinguish
+  /// incarnations, which is what activity_generation is for.
   std::uint64_t deactivation_epoch(int v) const { return deact_epoch_[v]; }
+
+  /// True invalidation for the dynamic layer: kills every cached entry
+  /// whose ball contains one of `vertices` (via the reverse member index),
+  /// without touching the activity mask. Called after graph mutations (see
+  /// rebind) with the adjacency-changed vertex set. Coordinator-side only.
+  void invalidate_touched(std::span<const int> vertices);
+
+  /// Re-activates previously deactivated vertices (idempotent for active
+  /// ones). Monotone deactivation epochs cannot express this: a ball that
+  /// excludes v because v was inactive at build time is *not* indexed under
+  /// v, yet a fresh BFS could now absorb v - so besides flipping the mask
+  /// this kills every entry containing v or a current graph neighbor of v
+  /// (only balls holding a neighbor at distance <= r-1 can grow to reach
+  /// v), resets v's deactivation epoch, and bumps its activity generation.
+  /// Coordinator-side only.
+  void reactivate(std::span<const int> vertices);
+
+  /// Incarnation counter: bumped each time v is reactivated. Consumers that
+  /// key derived state by vertex id use it to detect slot reuse across a
+  /// remove/re-insert cycle instead of aliasing the old incarnation.
+  std::uint64_t activity_generation(int v) const { return activity_gen_[v]; }
+
+  /// Swaps in a fresh graph snapshot (DynamicChordal::materialize keeps
+  /// slot ids stable) and grows the per-vertex tables for new slots (born
+  /// active). The caller must then invalidate_touched the adjacency-changed
+  /// slots and reconcile activity (reactivate revived slots, deactivate
+  /// killed ones). Entries whose ball region is untouched stay bit-valid:
+  /// their members' rows and the restricted distances are unchanged in the
+  /// new snapshot.
+  void rebind(const Graph& g);
 
   Shard& shard(std::size_t worker) { return *shards_[worker]; }
   std::size_t num_shards() const { return shards_.size(); }
@@ -140,10 +173,13 @@ class BallCache {
  private:
   friend class Shard;
 
+  void reset_dist_stamps();
+
   const Graph* g_;
   bool enabled_;
   std::vector<char> active_;
   std::vector<std::uint64_t> deact_epoch_;
+  std::vector<std::uint64_t> activity_gen_;
   std::uint64_t epoch_ = 0;
   bool published_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -221,6 +257,8 @@ class BallCache::Shard {
   /// entries invalidated and adds their resident words to *words_freed
   /// (both thread-count invariant, unlike any per-shard ordering).
   int invalidate_refs(int v, std::int64_t* words_freed);
+  /// Extends the per-vertex tables after a rebind grew the graph.
+  void grow_tables(std::size_t n);
   void stamp_dists(const Entry& e);
   void charge_collect(const Ball& ball, int radius, RoundLedger* ledger);
 

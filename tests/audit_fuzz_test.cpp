@@ -103,10 +103,12 @@ TEST(AuditFuzz, CorpusIsDeterministicInItsSeed) {
   audit::CorpusConfig config;
   config.per_graph_family = 2;
   config.num_streams = 10;
+  config.num_schedules = 6;
   audit::Corpus a = audit::build_corpus(config);
   audit::Corpus b = audit::build_corpus(config);
   ASSERT_EQ(a.graphs.size(), b.graphs.size());
   ASSERT_EQ(a.streams.size(), b.streams.size());
+  ASSERT_EQ(a.schedules.size(), b.schedules.size());
   for (std::size_t i = 0; i < a.graphs.size(); ++i) {
     EXPECT_EQ(a.graphs[i].name, b.graphs[i].name);
     EXPECT_EQ(a.graphs[i].graph.edges(), b.graphs[i].graph.edges());
@@ -115,6 +117,41 @@ TEST(AuditFuzz, CorpusIsDeterministicInItsSeed) {
     EXPECT_EQ(a.streams[i].name, b.streams[i].name);
     EXPECT_EQ(a.streams[i].text, b.streams[i].text);
   }
+  for (std::size_t i = 0; i < a.schedules.size(); ++i) {
+    EXPECT_EQ(a.schedules[i].name, b.schedules[i].name);
+    EXPECT_EQ(a.schedules[i].steps, b.schedules[i].steps);
+    EXPECT_EQ(a.schedules[i].base.edges(), b.schedules[i].base.edges());
+  }
+}
+
+TEST(AuditFuzz, UpdateSchedulesSurviveFullMatrix) {
+  auto schedules = audit::build_update_schedules(0xFEED, 10);
+  ASSERT_EQ(schedules.size(), 10u);
+  for (const audit::ScheduleCase& sc : schedules) {
+    SCOPED_TRACE(sc.name + " " + sc.base.summary());
+    EXPECT_EQ(audit::run_update_schedule_matrix(sc.base, sc.seed, sc.steps),
+              8);
+  }
+}
+
+TEST(AuditFuzz, UpdateScheduleExercisesRejections) {
+  // Over a batch of schedules the harness must see all three outcome
+  // classes - applied mutations, certified rejections, and the injected
+  // violations folded into `rejected` - or the fuzzer is toothless.
+  audit::UpdateScheduleStats totals;
+  audit::DriverAuditConfig config;
+  for (const audit::ScheduleCase& sc :
+       audit::build_update_schedules(0xD1CE, 12)) {
+    audit::UpdateScheduleStats s = audit::run_update_schedule_audit(
+        sc.base, sc.seed, sc.steps, config, nullptr);
+    totals.steps += s.steps;
+    totals.applied += s.applied;
+    totals.rejected += s.rejected;
+    totals.skipped += s.skipped;
+  }
+  EXPECT_GT(totals.applied, 0);
+  EXPECT_GT(totals.rejected, 0);
+  EXPECT_EQ(totals.steps, totals.applied + totals.rejected + totals.skipped);
 }
 
 // ---------------------------------------------------------------------------

@@ -336,6 +336,106 @@ TEST(PathMetricCache, LongPathHitsOnRepeat) {
   EXPECT_EQ(stats.hits, stats.misses);
 }
 
+Graph path_graph(int n) {
+  GraphBuilder b(n);
+  for (int v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+// Regression for the remove/re-insert aliasing hole in the monotone-epoch
+// design: a ball rebuilt while v was deactivated does not contain v, so it
+// is not indexed under v, and flipping the activity mask back on without
+// further invalidation would serve that stale ball forever - missing v and
+// everything behind it. reactivate() must kill the entries holding a
+// neighbor of v (the only balls a revived v can enter).
+TEST(BallCacheDynamic, ReactivationInvalidatesBallsThatCanAbsorb) {
+  Graph g = path_graph(5);  // 0-1-2-3-4
+  BallCache cache(g, true);
+  BallCache::Shard& shard = cache.shard(0);
+  const Ball full = shard.collect_ball(0, 4);
+  ASSERT_EQ(full.vertices.size(), 5u);
+
+  int dead[] = {2};
+  cache.deactivate(dead);
+  const Ball cut = shard.collect_ball(0, 4);  // rebuild: {0, 1}
+  ASSERT_EQ(cut.vertices.size(), 2u);
+
+  cache.reactivate(dead);
+  // The {0, 1} entry contains 1, a neighbor of 2, so it must have died;
+  // a stale hit here would return {0, 1} again.
+  Ball fresh = local::collect_ball(g, 0, 4, &cache.active(), nullptr);
+  EXPECT_EQ(fresh.vertices.size(), 5u);
+  expect_same_ball(fresh, shard.collect_ball(0, 4));
+}
+
+TEST(BallCacheDynamic, ReactivationLeavesDisjointBallsCached) {
+  Graph g = path_graph(8);
+  BallCache cache(g, true);
+  BallCache::Shard& shard = cache.shard(0);
+  shard.collect_ball(7, 1);  // ball {6, 7}: no neighbor of 2
+  std::int64_t hits_before = cache.stats().hits;
+  int dead[] = {2};
+  cache.deactivate(dead);
+  cache.reactivate(dead);
+  // 2's reactivation cannot change a ball that holds no neighbor of 2.
+  shard.collect_ball(7, 1);
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+}
+
+TEST(BallCacheDynamic, ActivityGenerationDistinguishesIncarnations) {
+  Graph g = path_graph(4);
+  BallCache cache(g, true);
+  EXPECT_EQ(cache.activity_generation(1), 0u);
+  int batch[] = {1};
+  cache.deactivate(batch);
+  EXPECT_GT(cache.deactivation_epoch(1), 0u);
+  cache.reactivate(batch);
+  EXPECT_EQ(cache.activity_generation(1), 1u);
+  EXPECT_EQ(cache.deactivation_epoch(1), 0u) << "epoch must reset on revive";
+  EXPECT_EQ(cache.active()[1], 1);
+  // Reactivating an active vertex is a no-op, not a new incarnation.
+  cache.reactivate(batch);
+  EXPECT_EQ(cache.activity_generation(1), 1u);
+  // A second remove/re-insert cycle is a second incarnation.
+  cache.deactivate(batch);
+  cache.reactivate(batch);
+  EXPECT_EQ(cache.activity_generation(1), 2u);
+}
+
+TEST(BallCacheDynamic, InvalidateTouchedKillsExactlyContainingEntries) {
+  Graph g = path_graph(8);
+  BallCache cache(g, true);
+  BallCache::Shard& shard = cache.shard(0);
+  shard.collect_ball(0, 2);  // {0, 1, 2}
+  shard.collect_ball(6, 1);  // {5, 6, 7}
+  std::int64_t hits_before = cache.stats().hits;
+  int touched[] = {1};
+  cache.invalidate_touched(touched);
+  shard.collect_ball(6, 1);  // untouched region: still a hit
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  shard.collect_ball(0, 2);  // contained 1: must rebuild
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  EXPECT_GE(cache.stats().invalidations, 1);
+}
+
+TEST(BallCacheDynamic, RebindGrowsTablesAndServesNewSlots) {
+  Graph small = path_graph(4);
+  BallCache cache(small, true);
+  BallCache::Shard& shard = cache.shard(0);
+  shard.collect_ball(0, 2);  // builds the per-vertex tables at n=4
+  Graph big = path_graph(6);
+  cache.rebind(big);
+  // Slots 0..3 have identical rows in both snapshots except 3 (gained 4),
+  // which the dynamic layer reports as touched.
+  int touched[] = {3, 4};
+  cache.invalidate_touched(touched);
+  for (int v = 0; v < 6; ++v) {
+    Ball fresh = local::collect_ball(big, v, 3, &cache.active(), nullptr);
+    expect_same_ball(fresh, shard.collect_ball(v, 3));
+  }
+  EXPECT_EQ(cache.activity_generation(5), 0u);
+}
+
 Graph driver_workload() {
   RandomChordalConfig config;
   config.n = 400;

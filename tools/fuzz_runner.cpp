@@ -8,10 +8,18 @@
 // canonically or throw - never crash. Intended to run under ASan+UBSan:
 // any sanitizer report, crash, or auditor violation fails the gate.
 //
+// Chordal graph cases are joined by dynamic update schedules: each replays
+// a seeded edge/vertex churn sequence through DynamicChordal under the full
+// execution matrix, asserting incremental state == full recomputation after
+// every step and validating every rejection's witness cycle (see
+// audit/update_fuzz.cpp).
+//
 // Usage: fuzz_runner [--seed S] [--per-family N] [--streams N]
-//                    [--max-matrix-n N] [--per-node-n N] [--verbose]
-// CHORDAL_FUZZ_ITERS scales the corpus (approximate total case count;
-// default 500, floor 60).
+//                    [--schedules N] [--max-matrix-n N] [--per-node-n N]
+//                    [--verbose]
+// CHORDAL_FUZZ_ITERS scales the corpus (approximate static case count;
+// default 500, floor 60). Update schedules default to max(500, iters) -
+// the PR-8 gate requires at least 500.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -128,14 +136,18 @@ int main(int argc, char** argv) {
       static_cast<int>(arg_value(argc, argv, "--streams", iters * 7 / 10));
   config.per_graph_family = static_cast<int>(arg_value(
       argc, argv, "--per-family", (iters - config.num_streams) / 4));
+  config.num_schedules = static_cast<int>(
+      arg_value(argc, argv, "--schedules", iters < 500 ? 500 : iters));
   long long max_matrix_n = arg_value(argc, argv, "--max-matrix-n", 100000);
   long long per_node_n = arg_value(argc, argv, "--per-node-n", 48);
   bool verbose = has_flag(argc, argv, "--verbose");
 
   audit::Corpus corpus = audit::build_corpus(config);
-  std::printf("fuzz corpus: %zu graph cases + %zu stream cases (seed %llu)\n",
-              corpus.graphs.size(), corpus.streams.size(),
-              static_cast<unsigned long long>(config.seed));
+  std::printf(
+      "fuzz corpus: %zu graph cases + %zu stream cases + %zu update "
+      "schedules (seed %llu)\n",
+      corpus.graphs.size(), corpus.streams.size(), corpus.schedules.size(),
+      static_cast<unsigned long long>(config.seed));
 
   int failures = 0;
   int matrix_configs = 0;
@@ -178,9 +190,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  int schedule_configs = 0;
+  for (const audit::ScheduleCase& sc : corpus.schedules) {
+    try {
+      schedule_configs +=
+          audit::run_update_schedule_matrix(sc.base, sc.seed, sc.steps);
+      if (verbose) {
+        std::printf("schedule %-28s %s ok\n", sc.name.c_str(),
+                    sc.base.summary().c_str());
+      }
+    } catch (const std::exception& e) {
+      report(sc.name, e.what());
+    }
+  }
+
   std::printf(
       "fuzz summary: %zu streams, %zu graphs, %d matrix configurations, "
-      "%d failure(s)\n",
-      corpus.streams.size(), corpus.graphs.size(), matrix_configs, failures);
+      "%zu schedules (%d schedule configurations), %d failure(s)\n",
+      corpus.streams.size(), corpus.graphs.size(), matrix_configs,
+      corpus.schedules.size(), schedule_configs, failures);
   return failures == 0 ? 0 : 1;
 }
